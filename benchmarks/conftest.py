@@ -1,0 +1,25 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper figure/table via its experiment
+module (quick mode), prints the rendered table, and asserts the
+paper's qualitative shape (who wins, where curves saturate).  Runs are
+single-shot: the interesting number is the figure's content, not the
+harness's wall time.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run an experiment module once under pytest-benchmark."""
+
+    def _run(module, quick=True):
+        result = benchmark.pedantic(
+            lambda: module.run(quick=quick), rounds=1, iterations=1,
+        )
+        print()
+        print(result["table"])
+        return result
+
+    return _run

@@ -1,0 +1,21 @@
+"""Bench: design-choice ablations (beyond the paper's figures)."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(run_figure):
+    result = run_figure(ablations)
+    # dBUF: more staging never hurts GC throughput.
+    dbuf = result["dbuf"]["pages_per_us"]
+    assert dbuf[-1] >= dbuf[0] * 0.95
+    # GC pipeline depth: wider bursts collect at least as fast.
+    pipeline = result["pipeline"]["pages_per_us"]
+    assert pipeline[-1] >= pipeline[0] * 0.95
+    # Legacy copyback skips ECC: at least as fast, but every copy is
+    # unchecked (the reliability hazard the paper's design removes).
+    ecc = result["copyback_ecc"]
+    assert ecc["legacy_pages_per_us"] >= ecc["checked_pages_per_us"] * 0.9
+    assert ecc["legacy_unchecked"] > 0
+    # Both mesh dimensions deliver; record which wins at 16 controllers.
+    mesh = result["mesh2d"]["perf"]
+    assert mesh["mesh1d"] > 0 and mesh["mesh2d"] > 0

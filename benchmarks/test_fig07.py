@@ -1,0 +1,21 @@
+"""Bench: regenerate paper Fig 7 (normalized I/O + GC performance)."""
+
+from repro.experiments import fig07_normalized
+
+
+def test_fig07_normalized_performance(run_figure):
+    result = run_figure(fig07_normalized)
+    io = result["io_bandwidth"]
+    gc = result["gc_rate"]
+    # Paper shape: every decoupled design beats Baseline on I/O, and
+    # decoupling beats merely widening the bus (dSSD vs BW).
+    for arch in ("dssd", "dssd_b", "dssd_f"):
+        assert io[arch] > io["baseline"]
+    assert io["dssd"] > io["bw"]
+    assert io["dssd_f"] > io["bw"]
+    # GC burst service rate: back-end copyback beats the front-end path.
+    for arch in ("dssd", "dssd_b", "dssd_f"):
+        assert gc[arch] > gc["baseline"]
+    # Per-move latency drops with decoupling.
+    assert (result["gc_move_latency_us"]["dssd_f"]
+            < result["gc_move_latency_us"]["baseline"])

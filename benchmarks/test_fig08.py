@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Fig 8 (on-chip bandwidth sensitivity)."""
+
+from repro.experiments import fig08_bandwidth_sweep
+
+
+def test_fig08_bandwidth_sweep(run_figure):
+    result = run_figure(fig08_bandwidth_sweep)
+    low = result["low"]
+    high = result["high"]
+    # Low-bandwidth flash barely benefits from more on-chip bandwidth.
+    low_bw_gain = low["bw"][-1]["io"] / max(low["bw"][0]["io"], 1e-9)
+    # High-bandwidth flash benefits substantially.
+    high_bw_gain = high["bw"][-1]["io"] / max(high["bw"][0]["io"], 1e-9)
+    assert high_bw_gain > low_bw_gain * 0.9
+    # At modest extra bandwidth (x1.25-x1.5), decoupling beats widening
+    # the bus on the high-bandwidth input (the paper's key comparison).
+    assert high["dssd_f"][0]["io"] > high["bw"][0]["io"] * 0.95

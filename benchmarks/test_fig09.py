@@ -1,0 +1,26 @@
+"""Bench: regenerate paper Fig 9 (latency breakdown vs plane count)."""
+
+from repro.experiments import fig09_latency_breakdown
+
+
+def test_fig09_latency_breakdown(run_figure):
+    result = run_figure(fig09_latency_breakdown)
+    io = result["io"]
+    copyback = result["copyback"]
+    # dSSD_f copybacks never use the system bus or DRAM at any plane count.
+    for planes in (1, 8):
+        dssd_cb = copyback[f"dssd_f/p{planes}"]
+        assert dssd_cb["system_bus"] == 0.0
+        assert dssd_cb["dram"] == 0.0
+    # Baseline copybacks carry system-bus and DRAM time.
+    base_cb = copyback["baseline/p8"]
+    assert base_cb["system_bus"] > 0.0
+    assert base_cb["dram"] > 0.0
+    # With one plane, flash-chip time dominates I/O; with eight planes
+    # the chip share shrinks relative to the bus components (paper: the
+    # bottleneck shifts from the array to the buses).
+    one = io["baseline/p1"]
+    eight = io["baseline/p8"]
+    chip_share_1 = one["flash_chip"] / max(sum(one.values()), 1e-9)
+    chip_share_8 = eight["flash_chip"] / max(sum(eight.values()), 1e-9)
+    assert chip_share_8 < chip_share_1

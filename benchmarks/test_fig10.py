@@ -1,0 +1,20 @@
+"""Bench: regenerate paper Fig 10 (DRAM-hit I/O + per-trace latency)."""
+
+from repro.experiments import fig10_dram_hit
+
+
+def test_fig10_dram_hit(run_figure):
+    result = run_figure(fig10_dram_hit)
+    part_a = result["part_a"]
+    # With 100% DRAM-hit I/O, dSSD_f sustains at least the Baseline's
+    # bandwidth and a far better tail (paper: 77x/39x vs BW/dSSD).
+    assert (part_a["dssd_f"]["io_bandwidth"]
+            >= part_a["baseline"]["io_bandwidth"])
+    assert part_a["dssd_f"]["p99_us"] < part_a["baseline"]["p99_us"]
+    # GC really ran during the DRAM-hit window.
+    assert part_a["dssd_f"]["gc_pages"] > 0
+    # Part (b): dSSD_f's mean latency beats Baseline on average.
+    traces = result["part_b"]
+    mean_base = sum(v["baseline"] for v in traces.values()) / len(traces)
+    mean_dssd = sum(v["dssd_f"] for v in traces.values()) / len(traces)
+    assert mean_dssd < mean_base

@@ -1,0 +1,15 @@
+"""Bench: regenerate paper Fig 11 (tail latency across traces)."""
+
+from repro.experiments import fig11_tail_latency
+
+
+def test_fig11_tail_latency(run_figure):
+    result = run_figure(fig11_tail_latency)
+    p99 = result["p99"]
+    improvements = result["improvements"]
+    # On average across traces, dSSD_f has the best 99% tail latency
+    # (ratios > 1 mean the other scheme's tail is worse).
+    assert improvements["baseline"] > 1.0
+    # dSSD_f wins the majority of individual traces against Baseline.
+    wins = sum(1 for t in p99 if p99[t]["dssd_f"] <= p99[t]["baseline"])
+    assert wins >= len(p99) / 2

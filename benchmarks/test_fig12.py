@@ -1,0 +1,20 @@
+"""Bench: regenerate paper Fig 12 (GC vs router channel bandwidth)."""
+
+from repro.experiments import fig12_noc_bandwidth
+
+
+def test_fig12_router_bandwidth(run_figure):
+    result = run_figure(fig12_noc_bandwidth)
+    # GC performance is non-decreasing in fabric bandwidth (small
+    # saturation wiggle allowed) and saturates: the last doubling of
+    # bandwidth buys much less than the first.
+    for series in list(result["channels"].values()) + \
+            list(result["ways"].values()):
+        assert series[-1] >= series[0] * 0.95
+        first_gain = series[1] / max(series[0], 1e-9)
+        last_gain = series[-1] / max(series[-2], 1e-9)
+        assert last_gain <= first_gain + 0.25
+    # More channels -> more GC throughput at equal per-channel ratio.
+    channels = sorted(result["channels"])
+    assert (result["channels"][channels[-1]][-1]
+            > result["channels"][channels[0]][-1])

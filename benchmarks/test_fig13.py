@@ -1,0 +1,24 @@
+"""Bench: regenerate paper Fig 13 (topology + buffer sensitivity)."""
+
+from repro.experiments import fig13_topology
+
+
+def test_fig13_topology(run_figure):
+    result = run_figure(fig13_topology)
+    topo = result["topologies"]
+    # Equal bisection bandwidth: the mesh beats the ring (ring channels
+    # are narrower), and approaches the crossbar as bandwidth grows.
+    for index in range(len(result["bisections"])):
+        assert topo["mesh1d"][index] > topo["ring"][index]
+    gap_low = topo["crossbar"][0] / max(topo["mesh1d"][0], 1e-9)
+    gap_high = topo["crossbar"][-1] / max(topo["mesh1d"][-1], 1e-9)
+    assert gap_high <= gap_low + 0.05
+    # Buffers: deep buffers help when bandwidth is scarce...
+    scarce = result["buffers"]["scarce"]
+    depths = sorted(scarce)
+    scarce_gain = scarce[depths[-1]] / max(scarce[depths[0]], 1e-9)
+    assert scarce_gain > 1.05
+    # ...and matter much less when bandwidth is ample.
+    ample = result["buffers"]["ample"]
+    ample_gain = ample[depths[-1]] / max(ample[depths[0]], 1e-9)
+    assert ample_gain < scarce_gain

@@ -1,0 +1,24 @@
+"""Bench: regenerate paper Fig 14 (lifetime / endurance / WAS overhead)."""
+
+from repro.experiments import fig14_lifetime
+
+
+def test_fig14_lifetime(run_figure):
+    result = run_figure(fig14_lifetime)
+    rows = {row[0]: row for row in result["part_a"]["rows"]}
+    # RECYCLED cannot delay the first bad superblock; RESERV can.
+    assert rows["RECYCLED"][1] == rows["BASELINE"][1]
+    assert rows["RESERV"][1] > rows["BASELINE"][1] * 1.15
+    # Both recycling policies extend endurance at the 10%-bad point.
+    assert rows["RECYCLED"][3] > 1.05
+    assert rows["RESERV"][3] > 1.05
+    # (b) the recycling benefit grows with wear variation, and WAS is
+    # at least as good as the hardware policies on endurance.
+    series = result["part_b"]["series"]
+    assert series["recycled"][-1] > series["recycled"][0]
+    assert series["was"][-1] >= series["reserv"][-1] * 0.95
+    # (c) WAS's RBER scans cost I/O latency, growing with block count.
+    normalized = result["part_c"]["normalized"]
+    assert normalized[-1] > 1.02
+    assert normalized == sorted(normalized) or normalized[-1] >= \
+        normalized[1]

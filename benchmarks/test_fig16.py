@@ -1,0 +1,25 @@
+"""Bench: regenerate paper Fig 16 (SRT sizing / occupancy)."""
+
+from repro.experiments import fig16_srt_size
+
+
+def test_fig16_srt_size(run_figure):
+    result = run_figure(fig16_srt_size)
+    grid = result["grid"]
+    for device, series in grid.items():
+        # Endurance improvement is non-decreasing in SRT capacity...
+        for a, b in zip(series, series[1:]):
+            assert b >= a - 1e-9
+        # ...and saturates: the unbounded table matches the largest
+        # bounded one.
+        assert series[-1] <= series[-2] * 1.02 + 1e-9
+    # Larger devices need more entries: the small device is closer to
+    # its saturation point at the smallest capacity.
+    small, large = sorted(grid)
+    small_frac = grid[small][0] / max(grid[small][-1], 1e-9)
+    large_frac = grid[large][0] / max(grid[large][-1], 1e-9)
+    assert small_frac >= large_frac - 0.05
+    # (b) occupancy grows and then plateaus; RESERV holds more entries.
+    occupancy = result["occupancy_recycled"]
+    assert occupancy[-1][1] >= occupancy[0][1]
+    assert result["max_active_reserv"] >= result["max_active_recycled"]

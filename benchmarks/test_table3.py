@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Table 3 (qualitative comparison)."""
+
+from repro.experiments import table3_qualitative
+
+
+def test_table3_qualitative(run_figure):
+    result = run_figure(table3_qualitative)
+    table = result["qualitative"]
+    assert set(table) == {"preemptive", "tinytail", "pagc", "dssd"}
+    # dSSD is the only scheme rated '++' on both bus interference and
+    # FTL transparency -- the paper's core claim.
+    assert table["dssd"]["bus_interference"] == "++"
+    assert table["dssd"]["ftl_modification"] == "++"
+    assert table["tinytail"]["tail"] == "++"

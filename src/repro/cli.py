@@ -1,0 +1,55 @@
+"""Command-line entry point: run any paper experiment.
+
+Usage::
+
+    python -m repro fig7            # quick mode
+    python -m repro fig11 --full    # longer, smoother run
+    python -m repro all             # every experiment, quick mode
+    repro-dssd fig14                # console-script alias
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments, run the requested experiment(s), print tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dssd",
+        description="Decoupled SSD (ISCA'23) reproduction experiments",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="paper figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="longer simulation windows (slower, smoother numbers)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        module = EXPERIMENTS[name]
+        started = time.time()
+        result = module.run(quick=not args.full)
+        elapsed = time.time() - started
+        print(f"=== {name} ({module.__name__.rsplit('.', 1)[-1]}, "
+              f"{elapsed:.1f}s) ===")
+        print(result["table"])
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

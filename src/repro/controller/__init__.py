@@ -1,0 +1,24 @@
+"""SSD-controller front-end components: buses, DRAM, ECC, host, controllers."""
+
+from .breakdown import COMPONENTS, Breakdown
+from .bus import PAPER_SYSTEM_BUS_BW, SystemBus
+from .dram import PAPER_DRAM_BW, Dram
+from .ecc import DEFAULT_ECC_FIXED_US, DEFAULT_ECC_THROUGHPUT, EccEngine
+from .flash_controller import FlashController
+from .host import PAPER_HOST_BW, PAPER_QUEUE_DEPTH, HostInterface
+
+__all__ = [
+    "Breakdown",
+    "COMPONENTS",
+    "Dram",
+    "DEFAULT_ECC_FIXED_US",
+    "DEFAULT_ECC_THROUGHPUT",
+    "EccEngine",
+    "FlashController",
+    "HostInterface",
+    "PAPER_DRAM_BW",
+    "PAPER_HOST_BW",
+    "PAPER_QUEUE_DEPTH",
+    "PAPER_SYSTEM_BUS_BW",
+    "SystemBus",
+]

@@ -1,0 +1,83 @@
+"""Latency-breakdown accounting shared by all datapaths.
+
+Paper Fig 9 decomposes request latency into contention/service per
+resource.  Every datapath generator in this library fills a
+:class:`Breakdown` with time attributed to the components below.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+__all__ = ["Breakdown", "COMPONENTS"]
+
+#: Canonical component keys, in display order.
+COMPONENTS = (
+    "host",         # host interface / PCIe
+    "system_bus",   # shared on-chip bus (queueing + transfer)
+    "dram",         # DRAM port
+    "ecc",          # ECC engine
+    "flash_bus",    # flash channel bus
+    "flash_chip",   # plane/die array time + contention
+    "fnoc",         # flash-controller NoC (dSSD_f) or dedicated bus
+    "other",        # firmware, NI, misc fixed latencies
+)
+
+
+class Breakdown:
+    """Accumulates per-component time for one request (or many)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self) -> None:
+        self.parts: Dict[str, float] = {}
+
+    def add(self, component: str, duration: float) -> None:
+        """Attribute *duration* microseconds to *component*."""
+        if component not in COMPONENTS:
+            raise KeyError(f"unknown breakdown component {component!r}")
+        if duration < 0:
+            raise ValueError(f"negative duration {duration} for {component}")
+        self.parts[component] = self.parts.get(component, 0.0) + duration
+
+    def merge(self, other: "Breakdown") -> None:
+        """Fold another breakdown's components into this one."""
+        for component, duration in other.parts.items():
+            self.parts[component] = self.parts.get(component, 0.0) + duration
+
+    def get(self, component: str) -> float:
+        """Time attributed to *component* (0.0 if none)."""
+        return self.parts.get(component, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over all components."""
+        return sum(self.parts.values())
+
+    def scaled(self, factor: float) -> "Breakdown":
+        """A copy with every component multiplied by *factor*."""
+        result = Breakdown()
+        for component, duration in self.parts.items():
+            result.parts[component] = duration * factor
+        return result
+
+    @staticmethod
+    def mean(breakdowns: Iterable["Breakdown"]) -> "Breakdown":
+        """Component-wise average of many breakdowns."""
+        items = list(breakdowns)
+        result = Breakdown()
+        if not items:
+            return result
+        for item in items:
+            result.merge(item)
+        return result.scaled(1.0 / len(items))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Components in canonical order (zero-filled)."""
+        return {c: self.parts.get(c, 0.0) for c in COMPONENTS}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{c}={v:.2f}" for c, v in self.parts.items() if v > 0
+        )
+        return f"Breakdown({parts})"

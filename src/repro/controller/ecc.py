@@ -1,0 +1,68 @@
+"""ECC engine model (LDPC-style decode/encode latency).
+
+An ECC engine checks (and possibly corrects) every page read -- for host
+I/O *and* for GC copies.  Conventional SSDs place the engines near the
+front-end; the decoupled SSD integrates one into each decoupled flash
+controller so copybacks never leave the back-end unchecked (avoiding the
+error propagation that bars legacy copyback commands).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..errors import ConfigError
+from ..sim import Resource, Simulator
+
+__all__ = ["EccEngine", "DEFAULT_ECC_THROUGHPUT", "DEFAULT_ECC_FIXED_US"]
+
+#: Default decode throughput, bytes/us (4 GB/s-class LDPC pipeline).
+DEFAULT_ECC_THROUGHPUT = 4000.0
+#: Fixed pipeline latency per codeword batch (us).
+DEFAULT_ECC_FIXED_US = 0.5
+
+
+class EccEngine:
+    """A shared decode pipeline: fixed latency + size-proportional time."""
+
+    def __init__(self, sim: Simulator, throughput: float = DEFAULT_ECC_THROUGHPUT,
+                 fixed_latency_us: float = DEFAULT_ECC_FIXED_US,
+                 lanes: int = 1, name: str = "ecc"):
+        if throughput <= 0:
+            raise ConfigError(f"ECC throughput must be positive: {throughput}")
+        if fixed_latency_us < 0:
+            raise ConfigError(f"negative ECC latency: {fixed_latency_us}")
+        if lanes < 1:
+            raise ConfigError(f"ECC lanes must be >= 1: {lanes}")
+        self.sim = sim
+        self.throughput = throughput
+        self.fixed_latency_us = fixed_latency_us
+        self.name = name
+        self._lanes = Resource(sim, capacity=lanes, name=name)
+        self.pages_checked = 0
+        self.busy_time = 0.0
+
+    def decode_time(self, nbytes: int) -> float:
+        """Service time for checking *nbytes* of data."""
+        return self.fixed_latency_us + nbytes / self.throughput
+
+    def check(self, nbytes: int, priority: int = 0) -> Generator:
+        """Generator: run one page through the engine; returns lane wait."""
+        if nbytes <= 0:
+            raise ConfigError(f"ECC check of {nbytes} bytes")
+        t_request = self.sim.now
+        yield self._lanes.request(priority)
+        wait = self.sim.now - t_request
+        duration = self.decode_time(nbytes)
+        yield self.sim.timeout(duration)
+        self._lanes.release()
+        self.pages_checked += 1
+        self.busy_time += duration
+        return wait
+
+    def utilization(self, horizon: float = None) -> float:
+        """Busy fraction of the engine (sums over lanes)."""
+        horizon = horizon if horizon is not None else self.sim.now
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (horizon * self._lanes.capacity))

@@ -1,0 +1,68 @@
+"""Host interface: NVMe-style submission with a bounded queue depth.
+
+The host interface admits at most ``queue_depth`` outstanding I/O
+requests (paper: QD = 64) and moves request data over a PCIe-class host
+link.  The FTL completes requests; completion frees a queue slot for the
+next submission.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..errors import ConfigError
+from ..sim import Link, Simulator, TokenPool
+
+__all__ = ["HostInterface", "PAPER_HOST_BW", "PAPER_QUEUE_DEPTH"]
+
+#: PCIe 3.0 x8 (paper Table 1) ~= 7.88 GB/s; modeled as 8 GB/s.
+PAPER_HOST_BW = 8000.0
+#: Paper: outstanding-request queue depth of 64.
+PAPER_QUEUE_DEPTH = 64
+
+#: NVMe command processing overhead per request (us).
+DEFAULT_CMD_LATENCY_US = 1.0
+
+
+class HostInterface:
+    """Submission queue slots plus the host data link."""
+
+    def __init__(self, sim: Simulator, queue_depth: int = PAPER_QUEUE_DEPTH,
+                 bandwidth: float = PAPER_HOST_BW,
+                 cmd_latency_us: float = DEFAULT_CMD_LATENCY_US,
+                 bin_width: float = 1000.0):
+        if queue_depth < 1:
+            raise ConfigError(f"queue depth must be >= 1: {queue_depth}")
+        if bandwidth <= 0:
+            raise ConfigError(f"host bandwidth must be positive: {bandwidth}")
+        if cmd_latency_us < 0:
+            raise ConfigError(f"negative command latency: {cmd_latency_us}")
+        self.sim = sim
+        self.queue_depth = queue_depth
+        self.cmd_latency_us = cmd_latency_us
+        self.link = Link(sim, bandwidth, name="host_link", bin_width=bin_width)
+        self._slots = TokenPool(sim, queue_depth, name="sq_slots")
+        self.submitted = 0
+        self.completed = 0
+
+    @property
+    def outstanding(self) -> int:
+        """Requests currently admitted but not yet completed."""
+        return self.queue_depth - self._slots.available
+
+    def submit(self) -> Generator:
+        """Generator: wait for a queue slot and pay command overhead."""
+        yield self._slots.acquire(1)
+        if self.cmd_latency_us > 0:
+            yield self.sim.timeout(self.cmd_latency_us)
+        self.submitted += 1
+
+    def complete(self) -> None:
+        """Release the queue slot of a finished request."""
+        self._slots.release(1)
+        self.completed += 1
+
+    def transfer(self, nbytes: int, traffic_class: str = "io") -> Generator:
+        """Generator: move request data over the host link."""
+        wait = yield self.link.transfer(nbytes, traffic_class)
+        return wait

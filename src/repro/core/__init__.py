@@ -1,0 +1,37 @@
+"""The paper's contribution: decoupled SSD architectures and assembly."""
+
+from .config import (
+    ArchPreset,
+    SSDConfig,
+    paper_geometry,
+    sim_geometry,
+    superblock_geometry,
+)
+from .copyback import CopybackCommand, CopybackStatus
+from .datapath import BaselineDatapath, DecoupledDatapath
+from .ssd import RunResult, SimulatedSSD, build_ssd
+from .transport import (
+    CopybackTransport,
+    DedicatedBusTransport,
+    FnocTransport,
+    SharedBusTransport,
+)
+
+__all__ = [
+    "ArchPreset",
+    "BaselineDatapath",
+    "build_ssd",
+    "CopybackCommand",
+    "CopybackStatus",
+    "CopybackTransport",
+    "DecoupledDatapath",
+    "DedicatedBusTransport",
+    "FnocTransport",
+    "paper_geometry",
+    "RunResult",
+    "SharedBusTransport",
+    "sim_geometry",
+    "SimulatedSSD",
+    "SSDConfig",
+    "superblock_geometry",
+]

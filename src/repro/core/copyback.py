@@ -1,0 +1,64 @@
+"""Global copyback command: the staged back-end page move (paper Sec 4.2).
+
+A copyback command carries its source and destination physical address
+and a *status* that tracks which stage has completed, mirroring the
+paper's command-queue bookkeeping (``R`` read done, ``RE`` error check
+done after the read, and so on).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..flash import PhysAddr
+
+__all__ = ["CopybackCommand", "CopybackStatus"]
+
+_command_ids = itertools.count()
+
+
+class CopybackStatus:
+    """Status codes a copyback command passes through, in order."""
+
+    QUEUED = "Q"        #: accepted into the source command queue
+    READ = "R"          #: page read from the array into the dBUF
+    READ_ECC = "RE"     #: error check/correction done at the source
+    PACKETIZED = "P"    #: packet built in the network interface
+    TRANSFERRED = "T"   #: arrived at the destination controller's dBUF
+    WRITTEN = "W"       #: programmed at the destination
+
+    ORDER = (QUEUED, READ, READ_ECC, PACKETIZED, TRANSFERRED, WRITTEN)
+
+
+@dataclass
+class CopybackCommand:
+    """One global copyback: read *src*, check, route, program *dst*."""
+
+    src: PhysAddr
+    dst: PhysAddr
+    command_id: int = field(default_factory=lambda: next(_command_ids))
+    status: str = CopybackStatus.QUEUED
+    history: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def is_local(self) -> bool:
+        """True when source and destination share a flash channel.
+
+        Local copybacks never touch the interconnect: the page stays in
+        the source controller's dBUF and is programmed down the same
+        channel (skipping the PACKETIZED/TRANSFERRED stages).
+        """
+        return self.src.channel == self.dst.channel
+
+    def advance(self, status: str, now: float) -> None:
+        """Move to *status*, enforcing the stage order."""
+        order = CopybackStatus.ORDER
+        if order.index(status) <= order.index(self.status):
+            raise ValueError(
+                f"copyback {self.command_id}: illegal transition "
+                f"{self.status} -> {status}"
+            )
+        self.status = status
+        self.history.append((status, now))

@@ -1,0 +1,281 @@
+"""Architecture datapaths: who moves the bytes, over which resources.
+
+:class:`BaselineDatapath` is the conventional coupled SSD -- every GC
+page copy bounces through the front-end (system bus -> DRAM -> system
+bus).  :class:`DecoupledDatapath` implements the paper's contribution:
+the decoupled flash controller executes a *global copyback* entirely in
+the back-end, staging the page in its dBUF, checking it with its
+integrated ECC engine, and handing it to a controller-to-controller
+transport (shared bus, dedicated bus, or fNoC).
+
+Host I/O takes the identical path on every architecture (paper Sec 4.1:
+"the datapath used for the I/O commands is the same as the conventional
+SSD").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from ..controller import Breakdown, Dram, EccEngine, FlashController, SystemBus
+from ..errors import ConfigError
+from ..flash import PhysAddr
+from ..sim import Simulator, TokenPool
+from .copyback import CopybackCommand, CopybackStatus
+from .transport import CopybackTransport
+
+__all__ = ["BaselineDatapath", "DecoupledDatapath"]
+
+#: Type of the optional physical-address remap hook (SRT layer).
+Remapper = Callable[[PhysAddr], PhysAddr]
+
+
+class BaselineDatapath:
+    """Conventional coupled SSD datapath."""
+
+    def __init__(self, sim: Simulator, bus: SystemBus, dram: Dram,
+                 ecc: EccEngine, controllers: List[FlashController],
+                 remapper: Optional[Remapper] = None,
+                 staging_pages: int = 16):
+        self.sim = sim
+        self.bus = bus
+        self.dram = dram
+        self.ecc = ecc
+        self.controllers = controllers
+        self.remapper = remapper
+        self.backend = controllers[0].backend
+        self.page_size = controllers[0].page_size
+        self.copybacks_completed = 0
+        #: Optional :class:`~repro.flash.WearModel`: when set, reads to
+        #: worn blocks pay read-retry passes (extra array read + ECC).
+        self.wear_model = None
+        self.read_retries_performed = 0
+        # GC copies stage through each controller's page buffers; the
+        # buffer capacity bounds in-flight GC pages per channel exactly
+        # as the dBUF does in the decoupled architectures (keeping the
+        # comparison's staging capacity equal across Table 2 configs).
+        self.gc_staging = [
+            TokenPool(sim, staging_pages, name=f"staging{c.controller_id}")
+            for c in controllers
+        ]
+
+    # -- shared helpers ------------------------------------------------------
+
+    def remap(self, addr: PhysAddr) -> PhysAddr:
+        """Apply the hardware remap layer (dynamic superblocks), if any."""
+        return self.remapper(addr) if self.remapper is not None else addr
+
+    def controller_for(self, addr: PhysAddr) -> FlashController:
+        """The flash controller owning *addr*'s channel."""
+        return self.controllers[addr.channel]
+
+    def _bus(self, nbytes: int, traffic_class: str,
+             breakdown: Breakdown) -> Generator:
+        t0 = self.sim.now
+        yield from self.bus.transfer(nbytes, traffic_class)
+        breakdown.add("system_bus", self.sim.now - t0)
+
+    def _dram(self, nbytes: int, traffic_class: str,
+              breakdown: Breakdown, direction: str = "write") -> Generator:
+        t0 = self.sim.now
+        yield from self.dram.access(nbytes, traffic_class,
+                                    direction=direction)
+        breakdown.add("dram", self.sim.now - t0)
+
+    def _ecc(self, engine: EccEngine, nbytes: int,
+             breakdown: Breakdown) -> Generator:
+        t0 = self.sim.now
+        yield from engine.check(nbytes)
+        breakdown.add("ecc", self.sim.now - t0)
+
+    def ecc_for(self, channel: int) -> EccEngine:
+        """ECC engine used for traffic on *channel* (shared front pool)."""
+        return self.ecc
+
+    # -- host I/O paths ----------------------------------------------------------
+
+    def io_dram_rw(self, nbytes: int, breakdown: Breakdown,
+                   direction: str = "write") -> Generator:
+        """DRAM-serviced I/O: one bus traversal plus one DRAM access."""
+        yield from self._bus(nbytes, "io", breakdown)
+        yield from self._dram(nbytes, "io", breakdown, direction)
+
+    def _read_retries(self, addr: PhysAddr) -> int:
+        if self.wear_model is None:
+            return 0
+        block_index = self.backend.geometry.block_index(addr)
+        erase_count = self.backend.erase_count(addr)
+        return self.wear_model.read_retries(erase_count, block_index)
+
+    def io_read_flash(self, addr: PhysAddr,
+                      breakdown: Breakdown) -> Generator:
+        """Flash read: array -> flash bus -> ECC -> system bus.
+
+        Worn blocks may need read-retry passes: each retry repeats the
+        array read and the ECC decode before the data is trusted.
+        """
+        addr = self.remap(addr)
+        controller = self.controller_for(addr)
+        yield from controller.read_page(addr, "io", breakdown)
+        yield from self._ecc(self.ecc_for(addr.channel), self.page_size,
+                             breakdown)
+        for _retry in range(self._read_retries(addr)):
+            self.read_retries_performed += 1
+            yield from controller.read_page(addr, "io", breakdown)
+            yield from self._ecc(self.ecc_for(addr.channel),
+                                 self.page_size, breakdown)
+        yield from self._bus(self.page_size, "io", breakdown)
+
+    def io_flush_write(self, addr: PhysAddr,
+                       breakdown: Breakdown) -> Generator:
+        """Write-back flush: DRAM read -> system bus -> flash program."""
+        addr = self.remap(addr)
+        yield from self._dram(self.page_size, "io", breakdown, "read")
+        yield from self._bus(self.page_size, "io", breakdown)
+        yield from self.controller_for(addr).program_page(addr, "io",
+                                                          breakdown)
+
+    def io_program(self, addr: PhysAddr,
+                   breakdown: Breakdown) -> Generator:
+        """Write-through program: system bus -> flash program."""
+        addr = self.remap(addr)
+        yield from self._bus(self.page_size, "io", breakdown)
+        yield from self.controller_for(addr).program_page(addr, "io",
+                                                          breakdown)
+
+    # -- garbage-collection paths ---------------------------------------------------
+
+    def gc_move(self, src: PhysAddr, dst: PhysAddr,
+                apply_remap: bool = True) -> Generator:
+        """Conventional GC copy: the page crosses the front-end twice.
+
+        flash read -> system bus -> ECC -> DRAM write -> DRAM read ->
+        system bus -> flash program (paper Fig 1).  ``apply_remap=False``
+        addresses raw physical blocks -- used by the dynamic-superblock
+        recycling copy, which itself installs the remap entries.
+        """
+        if apply_remap:
+            src = self.remap(src)
+            dst = self.remap(dst)
+        breakdown = Breakdown()
+        src_pool = self.gc_staging[src.channel]
+        yield src_pool.acquire(1)
+        yield from self.controller_for(src).read_page(src, "gc", breakdown)
+        yield from self._bus(self.page_size, "gc", breakdown)
+        yield from self._ecc(self.ecc_for(src.channel), self.page_size,
+                             breakdown)
+        yield from self._dram(self.page_size, "gc", breakdown, "write")
+        src_pool.release(1)
+        dst_pool = self.gc_staging[dst.channel]
+        yield dst_pool.acquire(1)
+        yield from self._dram(self.page_size, "gc", breakdown, "read")
+        yield from self._bus(self.page_size, "gc", breakdown)
+        yield from self.controller_for(dst).program_page(dst, "gc",
+                                                         breakdown)
+        dst_pool.release(1)
+        return breakdown
+
+    def gc_erase(self, addr: PhysAddr, apply_remap: bool = True) -> Generator:
+        """Erase a victim block."""
+        if apply_remap:
+            addr = self.remap(addr)
+        breakdown = Breakdown()
+        yield from self.controller_for(addr).erase_block(addr, "gc",
+                                                         breakdown)
+        return breakdown
+
+
+class DecoupledDatapath(BaselineDatapath):
+    """dSSD / dSSD_b / dSSD_f datapath: back-end global copyback.
+
+    Each decoupled controller has its own integrated ECC engine and a
+    dBUF of ``dbuf_pages`` page slots.  GC copies never touch the DRAM,
+    and cross the system bus only in the plain-``dSSD`` configuration
+    (whose transport *is* the shared bus, one traversal, no DRAM).
+    """
+
+    def __init__(self, sim: Simulator, bus: SystemBus, dram: Dram,
+                 ecc_engines: List[EccEngine],
+                 controllers: List[FlashController],
+                 transport: CopybackTransport,
+                 dbuf_pages: int = 16,
+                 remapper: Optional[Remapper] = None,
+                 check_ecc: bool = True):
+        if len(ecc_engines) != len(controllers):
+            raise ConfigError(
+                "decoupled datapath needs one ECC engine per controller"
+            )
+        if dbuf_pages < 2:
+            raise ConfigError(f"dbuf_pages must be >= 2: {dbuf_pages}")
+        super().__init__(sim, bus, dram, ecc_engines[0], controllers,
+                         remapper, staging_pages=dbuf_pages)
+        self.ecc_engines = ecc_engines
+        self.transport = transport
+        # check_ecc=False models *legacy* copyback semantics: the page is
+        # copied without error check/correction, so bit errors propagate
+        # silently -- the very reason copyback is unusable in
+        # conventional SSDs (Sec 4.2).  Kept as an ablation knob.
+        self.check_ecc = check_ecc
+        self.unchecked_copies = 0
+        self.dbufs = [
+            TokenPool(sim, dbuf_pages, name=f"dbuf{c.controller_id}")
+            for c in controllers
+        ]
+        self.copyback_log: List[CopybackCommand] = []
+        self.copyback_log_limit = 1024
+
+    def ecc_for(self, channel: int) -> EccEngine:
+        """The integrated ECC engine of *channel*'s decoupled controller."""
+        return self.ecc_engines[channel]
+
+    def gc_move(self, src: PhysAddr, dst: PhysAddr,
+                apply_remap: bool = True) -> Generator:
+        """Global copyback (paper Fig 4): all stages in the back-end."""
+        if apply_remap:
+            src = self.remap(src)
+            dst = self.remap(dst)
+        command = CopybackCommand(src=src, dst=dst)
+        if len(self.copyback_log) < self.copyback_log_limit:
+            self.copyback_log.append(command)
+        breakdown = Breakdown()
+
+        # (2,3) read the page into the source controller's dBUF.
+        src_dbuf = self.dbufs[src.channel]
+        yield src_dbuf.acquire(1)
+        yield from self.controller_for(src).read_page(src, "gc", breakdown)
+        command.advance(CopybackStatus.READ, self.sim.now)
+
+        # (4) error check with the integrated ECC engine.
+        if self.check_ecc:
+            yield from self._ecc(self.ecc_for(src.channel), self.page_size,
+                                 breakdown)
+        else:
+            self.unchecked_copies += 1
+        command.advance(CopybackStatus.READ_ECC, self.sim.now)
+
+        if command.is_local:
+            # Same channel: program straight from the source dBUF.
+            yield from self.controller_for(dst).program_page(dst, "gc",
+                                                             breakdown)
+            src_dbuf.release(1)
+            command.advance(CopybackStatus.WRITTEN, self.sim.now)
+        else:
+            # (5-8) packetize, traverse the interconnect into the
+            # destination dBUF, then (9,10) program at the destination.
+            # The source slot is released once the page is handed to the
+            # network interface -- holding both slots while waiting for
+            # the destination could deadlock opposing copyback streams.
+            command.advance(CopybackStatus.PACKETIZED, self.sim.now)
+            src_dbuf.release(1)
+            dst_dbuf = self.dbufs[dst.channel]
+            yield dst_dbuf.acquire(1)
+            yield from self.transport.move(src.channel, dst.channel,
+                                           self.page_size, breakdown)
+            command.advance(CopybackStatus.TRANSFERRED, self.sim.now)
+            yield from self.controller_for(dst).program_page(dst, "gc",
+                                                             breakdown)
+            dst_dbuf.release(1)
+            command.advance(CopybackStatus.WRITTEN, self.sim.now)
+
+        self.copybacks_completed += 1
+        return breakdown

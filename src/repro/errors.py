@@ -1,0 +1,34 @@
+"""Exception hierarchy for the dSSD reproduction."""
+
+__all__ = [
+    "ReproError",
+    "AddressError",
+    "FlashError",
+    "UncorrectableError",
+    "ConfigError",
+    "MappingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class AddressError(ReproError, ValueError):
+    """A physical or logical address is outside the device geometry."""
+
+
+class FlashError(ReproError):
+    """An illegal flash operation (program to unerased page, etc.)."""
+
+
+class UncorrectableError(FlashError):
+    """A page read exceeded the ECC engine's correction capability."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid simulation or architecture configuration."""
+
+
+class MappingError(ReproError):
+    """FTL or superblock mapping inconsistency."""

@@ -1,0 +1,46 @@
+"""Experiment harness: one module per paper figure/table.
+
+Each module exposes ``run(quick=True) -> dict`` (data series plus a
+rendered ``"table"``).  ``EXPERIMENTS`` maps CLI names to modules.
+"""
+
+from . import (
+    ablations,
+    fig02_motivation,
+    fig07_normalized,
+    fig08_bandwidth_sweep,
+    fig09_latency_breakdown,
+    fig10_dram_hit,
+    fig11_tail_latency,
+    fig12_noc_bandwidth,
+    fig13_topology,
+    fig14_lifetime,
+    fig15_srt_performance,
+    fig16_srt_size,
+    table3_qualitative,
+)
+from .common import ARCH_ORDER, format_table, gc_burst_run, steady_run
+
+EXPERIMENTS = {
+    "fig2": fig02_motivation,
+    "fig7": fig07_normalized,
+    "fig8": fig08_bandwidth_sweep,
+    "fig9": fig09_latency_breakdown,
+    "fig10": fig10_dram_hit,
+    "fig11": fig11_tail_latency,
+    "fig12": fig12_noc_bandwidth,
+    "fig13": fig13_topology,
+    "fig14": fig14_lifetime,
+    "fig15": fig15_srt_performance,
+    "fig16": fig16_srt_size,
+    "table3": table3_qualitative,
+    "ablations": ablations,
+}
+
+__all__ = [
+    "ARCH_ORDER",
+    "EXPERIMENTS",
+    "format_table",
+    "gc_burst_run",
+    "steady_run",
+]

@@ -1,0 +1,140 @@
+"""Design-choice ablations beyond the paper's figures.
+
+DESIGN.md calls out four knobs worth isolating:
+
+* **dBUF depth** -- how much decoupled staging the copyback pipeline
+  needs before the fabric (not the buffer) limits GC;
+* **GC pipeline depth** -- PaGC's per-plane burst width;
+* **write-buffer size** -- how much DRAM staging absorbs GC-induced
+  stalls before tail latency explodes;
+* **copyback ECC** -- the legacy unchecked copyback vs the paper's
+  checked global copyback (speed of skipping ECC vs silent error
+  propagation, counted);
+* **2-D mesh** -- the paper's open question: at 16 controllers, does a
+  2-D mesh beat the 1-D mesh at equal bisection bandwidth?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import ArchPreset, sim_geometry
+from ..noc import Mesh1D, Mesh2D
+from .common import format_table, gc_burst_run, steady_run
+
+__all__ = ["run", "DBUF_SIZES", "PIPELINE_DEPTHS", "BUFFER_SIZES"]
+
+DBUF_SIZES = (4, 8, 16, 64)
+PIPELINE_DEPTHS = (1, 2, 4, 8)
+BUFFER_SIZES = (256, 1024, 4096)
+
+
+def _dbuf_sweep(quick: bool) -> Dict:
+    sizes = DBUF_SIZES[:3] if quick else DBUF_SIZES
+    perf = [
+        gc_burst_run(ArchPreset.DSSD_F, quick=quick,
+                     dbuf_pages=size)[1]["pages_per_us"]
+        for size in sizes
+    ]
+    table = format_table(
+        ["metric"] + [f"{s} pages" for s in sizes],
+        [["GC pages/us"] + perf],
+        title="Ablation: dBUF depth (dSSD_f GC burst)",
+    )
+    return {"sizes": list(sizes), "pages_per_us": perf, "table": table}
+
+
+def _pipeline_sweep(quick: bool) -> Dict:
+    depths = PIPELINE_DEPTHS[:3] if quick else PIPELINE_DEPTHS
+    perf = [
+        gc_burst_run(ArchPreset.BASELINE, quick=quick,
+                     gc_pipeline_depth=depth)[1]["pages_per_us"]
+        for depth in depths
+    ]
+    table = format_table(
+        ["metric"] + [f"depth {d}" for d in depths],
+        [["GC pages/us"] + perf],
+        title="Ablation: GC pipeline depth (Baseline GC burst)",
+    )
+    return {"depths": list(depths), "pages_per_us": perf, "table": table}
+
+
+def _write_buffer_sweep(quick: bool) -> Dict:
+    sizes = BUFFER_SIZES[:2] if quick else BUFFER_SIZES
+    rows: List[List] = []
+    p99s = []
+    for pages in sizes:
+        _ssd, result = steady_run(ArchPreset.BASELINE, quick=quick,
+                                  write_buffer_pages=pages)
+        p99s.append(result.io_latency.p99)
+        rows.append([f"{pages} pages", result.io_bandwidth,
+                     result.io_latency.mean, result.io_latency.p99])
+    table = format_table(
+        ["buffer", "IO MB/s", "mean us", "p99 us"],
+        rows,
+        title="Ablation: DRAM write-buffer size (Baseline)",
+    )
+    return {"sizes": list(sizes), "p99_us": p99s, "table": table}
+
+
+def _copyback_ecc(quick: bool) -> Dict:
+    checked_ssd, checked = gc_burst_run(ArchPreset.DSSD_F, quick=quick,
+                                        copyback_ecc=True)
+    legacy_ssd, legacy = gc_burst_run(ArchPreset.DSSD_F, quick=quick,
+                                      copyback_ecc=False)
+    rows = [
+        ["checked (this work)", checked["pages_per_us"],
+         checked_ssd.datapath.unchecked_copies],
+        ["legacy (no ECC)", legacy["pages_per_us"],
+         legacy_ssd.datapath.unchecked_copies],
+    ]
+    table = format_table(
+        ["copyback mode", "GC pages/us", "unchecked copies"],
+        rows,
+        title="Ablation: checked global copyback vs legacy copyback",
+    )
+    return {
+        "checked_pages_per_us": checked["pages_per_us"],
+        "legacy_pages_per_us": legacy["pages_per_us"],
+        "legacy_unchecked": legacy_ssd.datapath.unchecked_copies,
+        "table": table,
+    }
+
+
+def _mesh2d(quick: bool) -> Dict:
+    """The paper's open topology question, at 16 controllers."""
+    geometry = sim_geometry(channels=16, ways=2, planes=4,
+                            blocks_per_plane=12)
+    bisection = 2000.0
+    perf = {}
+    for name, topo_cls in (("mesh1d", Mesh1D), ("mesh2d", Mesh2D)):
+        channel_bw = topo_cls(16).channel_bandwidth_for_bisection(bisection)
+        _ssd, episode = gc_burst_run(
+            ArchPreset.DSSD_F, quick=quick, geometry=geometry,
+            fnoc_topology=name, fnoc_channel_bw=channel_bw,
+        )
+        perf[name] = episode["pages_per_us"]
+    table = format_table(
+        ["topology", "GC pages/us"],
+        [[name, value] for name, value in perf.items()],
+        title="Ablation: 1-D vs 2-D mesh at 16 controllers, equal "
+              "bisection",
+    )
+    return {"perf": perf, "table": table}
+
+
+def run(quick: bool = True) -> Dict:
+    """All ablations."""
+    parts = {
+        "dbuf": _dbuf_sweep(quick),
+        "pipeline": _pipeline_sweep(quick),
+        "write_buffer": _write_buffer_sweep(quick),
+        "copyback_ecc": _copyback_ecc(quick),
+        "mesh2d": _mesh2d(quick),
+    }
+    parts["table"] = "\n\n".join(p["table"] for p in parts.values())
+    return parts
+
+
+if __name__ == "__main__":
+    print(run(quick=True)["table"])

@@ -1,0 +1,130 @@
+"""Shared experiment infrastructure: run helpers and table formatting.
+
+Every ``figXX`` module exposes ``run(quick=True) -> dict`` returning the
+figure's data series plus a human-readable ``"table"`` string.  Quick
+mode shrinks durations so the benchmark suite stays tractable; full mode
+(``--full`` on the CLI) runs longer for smoother numbers.  Shapes (who
+wins, where curves saturate) are stable across both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core import ArchPreset, build_ssd, sim_geometry
+from ..workloads import SyntheticWorkload
+
+__all__ = [
+    "ARCH_ORDER",
+    "bench_durations",
+    "format_table",
+    "gc_burst_run",
+    "normalized",
+    "run_arch",
+    "steady_run",
+]
+
+#: Table 2 presentation order.
+ARCH_ORDER = (ArchPreset.BASELINE, ArchPreset.BW, ArchPreset.DSSD,
+              ArchPreset.DSSD_B, ArchPreset.DSSD_F)
+
+
+def bench_durations(quick: bool) -> Dict[str, float]:
+    """Run/warmup windows (us) for quick vs full mode."""
+    if quick:
+        return {"duration_us": 30_000.0, "warmup_us": 10_000.0}
+    return {"duration_us": 80_000.0, "warmup_us": 30_000.0}
+
+
+def run_arch(arch, workload, duration_us: float, warmup_us: float = 0.0,
+             remapper=None, **overrides):
+    """Build an SSD for *arch* (with overrides) and run *workload*."""
+    overrides.setdefault("geometry", sim_geometry())
+    ssd = build_ssd(arch, remapper=remapper, **overrides)
+    return ssd, ssd.run(workload, duration_us=duration_us,
+                        warmup_us=warmup_us)
+
+
+def steady_run(arch, quick: bool = True, io_size: int = 32768,
+               pattern: str = "seq_write", **overrides):
+    """Standard steady-state write-pressure run (Fig 7/8 style)."""
+    windows = bench_durations(quick)
+    workload = SyntheticWorkload(pattern=pattern, io_size=io_size)
+    return run_arch(arch, workload, **windows, **overrides)
+
+
+def gc_burst_run(arch, quick: bool = True, **overrides):
+    """A GC-only burst: heavy pre-invalidation, no host traffic.
+
+    The device is prefilled below the GC trigger; a single episode runs
+    to the stop threshold with no competing I/O, isolating the GC
+    datapath (used by the fNoC sweeps, Fig 12/13).
+    Returns ``(ssd, episode_dict)``.
+    """
+    overrides.setdefault(
+        "geometry",
+        sim_geometry(ways=4, planes=4, blocks_per_plane=16),
+    )
+    overrides.setdefault("prefill_fraction", 0.93)
+    overrides.setdefault("gc_trigger_free_fraction", 0.10)
+    overrides.setdefault("gc_stop_free_fraction", 0.16)
+    ssd = build_ssd(arch, **overrides)
+    workload = SyntheticWorkload(pattern="seq_write", limit=0)
+    duration = 120_000.0 if quick else 600_000.0
+    ssd.run(workload, duration_us=duration, trigger_gc=True)
+    episodes = ssd.gc.stats.episode_log
+    if episodes:
+        episode = episodes[0]
+    else:
+        # Episode still running at cutoff: report the partial burst.
+        episode = {
+            "start": 0.0,
+            "end": ssd.sim.now,
+            "pages": ssd.gc.stats.pages_moved,
+            "blocks": ssd.gc.stats.blocks_erased,
+        }
+    duration_us = max(episode["end"] - episode["start"], 1e-9)
+    episode = dict(episode)
+    episode["pages_per_us"] = episode["pages"] / duration_us
+    episode["duration_us"] = duration_us
+    return ssd, episode
+
+
+def normalized(values: Sequence[float],
+               base: Optional[float] = None) -> List[float]:
+    """Values divided by *base* (default: the first value)."""
+    reference = base if base is not None else values[0]
+    if reference == 0:
+        return [0.0 for _v in values]
+    return [v / reference for v in values]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table used by every experiment printout."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])),
+            max((len(row[col]) for row in str_rows), default=0))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w)
+                                for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,81 @@
+"""Fig 2: GC interference with I/O on a conventional SSD.
+
+Reproduces the motivation experiment: a baseline SSD under sequential
+writes at QD 64, low-bandwidth (4 KB, one plane per access) versus
+high-bandwidth (32 KB, all planes via multi-plane-equivalent striping).
+Reports the per-millisecond I/O bandwidth timeline, the system-bus
+utilization split by traffic class, and the GC episode windows --
+showing the bandwidth collapse while GC shares the front-end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import ArchPreset
+from ..workloads import SyntheticWorkload
+from .common import bench_durations, format_table, run_arch
+
+__all__ = ["run"]
+
+
+def _scenario(io_size: int, quick: bool) -> Dict:
+    windows = bench_durations(quick)
+    workload = SyntheticWorkload(pattern="seq_write", io_size=io_size)
+    ssd, result = run_arch(ArchPreset.BASELINE, workload,
+                           duration_us=windows["duration_us"],
+                           warmup_us=0.0)
+    times, rates = result.bandwidth_timeline
+    episodes = [(e["start"], e["end"]) for e in ssd.gc.stats.episode_log]
+    if ssd.gc.active and ssd.gc._episode_start is not None:
+        episodes.append((ssd.gc._episode_start, ssd.sim.now))
+
+    def in_gc(t: float) -> bool:
+        return any(start <= t < end for start, end in episodes)
+
+    gc_rates = [r for t, r in zip(times, rates) if in_gc(t)]
+    quiet_rates = [r for t, r in zip(times, rates) if not in_gc(t)]
+    return {
+        "io_size": io_size,
+        "timeline": (times, rates),
+        "bus_io_timeline": result.bus_io_timeline,
+        "bus_gc_timeline": result.bus_gc_timeline,
+        "gc_windows": episodes,
+        "bw_during_gc": (sum(gc_rates) / len(gc_rates)) if gc_rates else 0.0,
+        "bw_quiet": (sum(quiet_rates) / len(quiet_rates))
+                    if quiet_rates else 0.0,
+        "bus_io_utilization": result.bus_io_utilization,
+        "bus_gc_utilization": result.bus_gc_utilization,
+    }
+
+
+def run(quick: bool = True) -> Dict:
+    """Run both scenarios; returns series plus a summary table."""
+    low = _scenario(4096, quick)
+    high = _scenario(32768, quick)
+    rows = []
+    for label, sc in (("low (4KB)", low), ("high (32KB)", high)):
+        drop = 0.0
+        if sc["bw_quiet"] > 0:
+            drop = 1.0 - sc["bw_during_gc"] / sc["bw_quiet"]
+        rows.append([
+            label,
+            sc["bw_quiet"],
+            sc["bw_during_gc"],
+            drop * 100.0,
+            sc["bus_io_utilization"],
+            sc["bus_gc_utilization"],
+            len(sc["gc_windows"]),
+        ])
+    table = format_table(
+        ["scenario", "IO MB/s (quiet)", "IO MB/s (GC)", "drop %",
+         "bus util (io)", "bus util (gc)", "GC episodes"],
+        rows,
+        title="Fig 2: I/O bandwidth and bus utilization during GC "
+              "(Baseline)",
+    )
+    return {"low": low, "high": high, "table": table}
+
+
+if __name__ == "__main__":
+    print(run(quick=True)["table"])

@@ -1,0 +1,96 @@
+"""Fig 7: normalized I/O and GC performance across Table 2 architectures.
+
+(a) Steady-state write pressure with continuous GC: I/O bandwidth and
+GC service rate, both normalized to Baseline, for Baseline / BW / dSSD /
+dSSD_b / dSSD_f at equal total on-chip bandwidth.
+
+(b) I/O system-bus utilization during GC for the two extremes the paper
+plots: all-hit ("DRAM Write") and all-miss ("Flash Write") I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..workloads import SyntheticWorkload
+from .common import ARCH_ORDER, bench_durations, format_table, run_arch, \
+    steady_run
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True) -> Dict:
+    """Run the five architectures; returns normalized metrics.
+
+    Both metrics come from the steady-state contention run: I/O
+    bandwidth, and GC performance as the *inverse of the mean GC
+    page-move service latency* -- the rate at which the architecture
+    can execute one internal copy while competing with host I/O.
+    (Raw pages-moved rates are equilibrium-coupled to I/O speed and
+    victim validity, so they do not isolate the datapath.)
+    """
+    archs = list(ARCH_ORDER)
+    io_bw = {}
+    gc_rate = {}
+    gc_move_latency = {}
+    p99 = {}
+    for arch in archs:
+        _ssd, result = steady_run(arch, quick=quick)
+        io_bw[arch.value] = result.io_bandwidth
+        move = max(result.extras["gc_move_latency_us"], 1e-9)
+        gc_move_latency[arch.value] = move
+        gc_rate[arch.value] = 1.0 / move
+        p99[arch.value] = result.io_latency.p99
+
+    base_io = io_bw["baseline"]
+    base_gc = max(gc_rate["baseline"], 1e-12)
+    rows = [
+        [arch.value,
+         io_bw[arch.value] / base_io,
+         gc_rate[arch.value] / base_gc,
+         gc_move_latency[arch.value],
+         p99[arch.value]]
+        for arch in archs
+    ]
+    table_a = format_table(
+        ["arch", "norm IO bw", "norm GC perf", "GC move us", "p99 us"],
+        rows,
+        title="Fig 7(a): normalized I/O and GC performance "
+              "(GC perf = 1/mean move latency)",
+    )
+
+    # (b) I/O bus utilization during GC, DRAM-hit vs flash-write I/O.
+    windows = bench_durations(quick)
+    util = {}
+    for arch in archs:
+        per_case = {}
+        for case, hit in (("dram_write", 1.0), ("flash_write", 0.0)):
+            workload = SyntheticWorkload(pattern="seq_write",
+                                         io_size=32768,
+                                         dram_hit_fraction=hit)
+            _ssd, result = run_arch(arch, workload, **windows)
+            per_case[case] = result.bus_io_utilization
+        util[arch.value] = per_case
+    rows_b = [
+        [arch.value,
+         util[arch.value]["dram_write"],
+         util[arch.value]["flash_write"]]
+        for arch in archs
+    ]
+    table_b = format_table(
+        ["arch", "bus util (DRAM write)", "bus util (flash write)"],
+        rows_b,
+        title="Fig 7(b): I/O system-bus utilization during GC",
+    )
+    return {
+        "io_bandwidth": io_bw,
+        "gc_rate": gc_rate,
+        "gc_move_latency_us": gc_move_latency,
+        "p99_us": p99,
+        "bus_io_utilization": util,
+        "table": table_a + "\n\n" + table_b,
+    }
+
+
+if __name__ == "__main__":
+    print(run(quick=True)["table"])

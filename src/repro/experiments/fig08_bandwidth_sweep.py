@@ -1,0 +1,68 @@
+"""Fig 8: sensitivity to on-chip bandwidth (x1.25 .. x4).
+
+Sweeps the total on-chip bandwidth factor for the BW architecture
+(everything into the system bus) and for dSSD_f (baseline bus + an fNoC
+whose bisection carries the extra), on the low-bandwidth (4 KB) and
+high-bandwidth (32 KB) inputs.  All results are normalized to the x1
+Baseline.  The paper's shape: extra bandwidth barely helps the low
+scenario; in the high scenario decoupling beats widening the bus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import ArchPreset
+from .common import format_table, steady_run
+
+__all__ = ["run", "FACTORS"]
+
+FACTORS = (1.25, 1.5, 2.0, 3.0, 4.0)
+
+
+def _metrics(arch, factor: float, io_size: int, quick: bool,
+             **overrides) -> Dict[str, float]:
+    _ssd, result = steady_run(arch, quick=quick, io_size=io_size,
+                              onchip_bw_factor=factor, **overrides)
+    window = max(result.duration_us, 1e-9)
+    return {
+        "io": result.io_bandwidth,
+        "gc": result.extras["gc_pages_in_window"] / window,
+    }
+
+
+def run(quick: bool = True) -> Dict:
+    """Sweep factors; returns normalized curves per scenario."""
+    data: Dict[str, Dict] = {}
+    tables: List[str] = []
+    for label, io_size in (("low", 4096), ("high", 32768)):
+        base = _metrics(ArchPreset.BASELINE, 1.0, io_size, quick)
+        rows = []
+        series = {"factors": list(FACTORS), "bw": [], "dssd_f": []}
+        for factor in FACTORS:
+            bw = _metrics(ArchPreset.BW, factor, io_size, quick)
+            # dSSD_f spends the extra budget on the fabric bisection.
+            extra = 8000.0 * (factor - 1.0)
+            dssd_f = _metrics(
+                ArchPreset.DSSD_F, factor, io_size, quick,
+                fnoc_channel_bw=max(extra / 2.0, 250.0),
+            )
+            bw_norm = {k: bw[k] / max(base[k], 1e-12) for k in bw}
+            df_norm = {k: dssd_f[k] / max(base[k], 1e-12) for k in dssd_f}
+            series["bw"].append(bw_norm)
+            series["dssd_f"].append(df_norm)
+            rows.append([f"x{factor}", bw_norm["io"], bw_norm["gc"],
+                         df_norm["io"], df_norm["gc"]])
+        data[label] = series
+        tables.append(format_table(
+            ["factor", "BW io", "BW gc", "dSSD_f io", "dSSD_f gc"],
+            rows,
+            title=f"Fig 8({'a' if label == 'low' else 'b'}): {label}-"
+                  "bandwidth flash, normalized to Baseline x1",
+        ))
+    data["table"] = "\n\n".join(tables)
+    return data
+
+
+if __name__ == "__main__":
+    print(run(quick=True)["table"])

@@ -1,0 +1,59 @@
+"""Fig 9: latency breakdown versus plane count for I/O and copyback.
+
+Write-through I/O (so request latency reflects the flash path) and GC
+page-move latency, decomposed into per-resource contention/service time,
+as the number of planes per die grows from 1 to 8.  The paper's shape:
+more planes shift contention from the flash chip to the buses; the
+Baseline keeps a growing system-bus component that dSSD_f eliminates,
+replaced by a smaller fNoC component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import ArchPreset, sim_geometry
+from .common import format_table, steady_run
+
+__all__ = ["run", "PLANE_COUNTS"]
+
+PLANE_COUNTS = (1, 2, 4, 8)
+
+_SHOWN = ("flash_chip", "flash_bus", "system_bus", "dram", "ecc", "fnoc")
+
+
+def run(quick: bool = True) -> Dict:
+    """Sweep plane counts on Baseline and dSSD_f; return breakdowns."""
+    data: Dict[str, Dict] = {"io": {}, "copyback": {}}
+    rows_io: List[List] = []
+    rows_cb: List[List] = []
+    for arch in (ArchPreset.BASELINE, ArchPreset.DSSD_F):
+        for planes in PLANE_COUNTS:
+            geometry = sim_geometry(planes=planes)
+            _ssd, result = steady_run(
+                arch, quick=quick, geometry=geometry,
+                write_policy="writethrough",
+            )
+            io_bd = result.io_breakdown.as_dict()
+            cb_bd = result.gc_breakdown.as_dict()
+            key = f"{arch.value}/p{planes}"
+            data["io"][key] = io_bd
+            data["copyback"][key] = cb_bd
+            rows_io.append([arch.value, planes]
+                           + [io_bd[c] for c in _SHOWN])
+            rows_cb.append([arch.value, planes]
+                           + [cb_bd[c] for c in _SHOWN])
+    headers = ["arch", "planes"] + list(_SHOWN)
+    table = (
+        format_table(headers, rows_io,
+                     title="Fig 9(a): I/O latency breakdown (us)")
+        + "\n\n"
+        + format_table(headers, rows_cb,
+                       title="Fig 9(b): copyback latency breakdown (us)")
+    )
+    data["table"] = table
+    return data
+
+
+if __name__ == "__main__":
+    print(run(quick=True)["table"])

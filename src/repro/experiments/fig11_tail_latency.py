@@ -1,0 +1,73 @@
+"""Fig 11: 99 % tail latency across trace workloads.
+
+Compares Baseline, BW, PreemptiveGC (BW + preemption), TinyTail (BW +
+partial GC) and dSSD_f on MSR-shaped traces, reporting per-trace p99
+latency and the average improvement factors the paper headlines
+(dSSD_f vs Baseline / TinyTail / PreemptiveGC).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import ArchPreset
+from ..workloads import make_msr_workload
+from .common import bench_durations, format_table, run_arch
+
+__all__ = ["run", "FIG11_TRACES", "CONFIGS"]
+
+FIG11_TRACES = ("prn_0", "proj_0", "usr_0", "hm_0", "src2_0", "mds_0",
+                "rsrch_0", "wdev_0")
+
+CONFIGS = (
+    ("baseline", ArchPreset.BASELINE, {}),
+    ("bw", ArchPreset.BW, {}),
+    ("preemptive", ArchPreset.BW, {"gc_policy": "preemptive"}),
+    ("tinytail", ArchPreset.BW, {"gc_policy": "tinytail"}),
+    ("dssd_f", ArchPreset.DSSD_F, {}),
+)
+
+
+def run(quick: bool = True) -> Dict:
+    """Run every (trace, config) pair; return p99 grids and ratios."""
+    windows = bench_durations(quick)
+    traces = FIG11_TRACES[:4] if quick else FIG11_TRACES
+    p99: Dict[str, Dict[str, float]] = {}
+    for trace in traces:
+        per_config = {}
+        for label, arch, overrides in CONFIGS:
+            workload = make_msr_workload(trace, n_requests=1500, seed=8)
+            _ssd, result = run_arch(arch, workload,
+                                    duration_us=windows["duration_us"],
+                                    warmup_us=windows["warmup_us"],
+                                    **overrides)
+            per_config[label] = result.io_latency.p99
+        p99[trace] = per_config
+
+    rows: List[List] = [
+        [trace] + [p99[trace][label] for label, _a, _o in CONFIGS]
+        for trace in traces
+    ]
+    improvements = {}
+    for label, _arch, _o in CONFIGS:
+        if label == "dssd_f":
+            continue
+        ratios = [
+            p99[t][label] / max(p99[t]["dssd_f"], 1e-9) for t in traces
+        ]
+        improvements[label] = sum(ratios) / len(ratios)
+    rows.append(
+        ["dSSD_f gain"] + [improvements.get(label, 1.0)
+                           for label, _a, _o in CONFIGS]
+    )
+    table = format_table(
+        ["trace"] + [label for label, _a, _o in CONFIGS],
+        rows,
+        title="Fig 11: 99% tail latency (us) per trace; last row = "
+              "mean p99 ratio vs dSSD_f",
+    )
+    return {"p99": p99, "improvements": improvements, "table": table}
+
+
+if __name__ == "__main__":
+    print(run(quick=True)["table"])

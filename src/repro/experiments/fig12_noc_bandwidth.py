@@ -1,0 +1,69 @@
+"""Fig 12: GC performance versus router channel bandwidth.
+
+Sweeps the fNoC router-channel to flash-channel bandwidth ratio while
+(a) scaling the number of flash channels (more channels need more
+fabric bandwidth before GC saturates) and (b) scaling the number of
+ways per channel at 8 channels (saturation stays near ratio x2
+regardless).  GC performance is measured with an isolated GC burst
+(no competing host traffic) so the fabric is the only variable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import ArchPreset, sim_geometry
+from .common import format_table, gc_burst_run
+
+__all__ = ["run", "RATIOS"]
+
+RATIOS = (0.5, 1.0, 2.0, 4.0)
+
+
+def _gc_perf(ratio: float, channels: int, ways: int, quick: bool) -> float:
+    geometry = sim_geometry(channels=channels, ways=ways, planes=4,
+                            blocks_per_plane=12)
+    _ssd, episode = gc_burst_run(
+        ArchPreset.DSSD_F, quick=quick, geometry=geometry,
+        fnoc_channel_bw=ratio * 1000.0,
+    )
+    return episode["pages_per_us"]
+
+
+def run(quick: bool = True) -> Dict:
+    """Both sweeps; returns pages/us grids normalized per series."""
+    channel_counts = (4, 8) if quick else (4, 8, 16)
+    way_counts = (1, 4) if quick else (1, 2, 4, 8)
+
+    part_a: Dict[int, List[float]] = {}
+    for channels in channel_counts:
+        part_a[channels] = [
+            _gc_perf(ratio, channels, 2, quick) for ratio in RATIOS
+        ]
+    part_b: Dict[int, List[float]] = {}
+    for ways in way_counts:
+        part_b[ways] = [
+            _gc_perf(ratio, 8, ways, quick) for ratio in RATIOS
+        ]
+
+    rows_a = [
+        [f"{channels} ch"] + part_a[channels]
+        for channels in channel_counts
+    ]
+    rows_b = [[f"{ways} way"] + part_b[ways] for ways in way_counts]
+    headers = ["config"] + [f"ratio x{r}" for r in RATIOS]
+    table = (
+        format_table(headers, rows_a,
+                     title="Fig 12(a): GC pages/us vs router/flash BW "
+                           "ratio, channel sweep")
+        + "\n\n"
+        + format_table(headers, rows_b,
+                       title="Fig 12(b): GC pages/us vs ratio, way sweep "
+                             "(8 channels)")
+    )
+    return {"channels": part_a, "ways": part_b, "ratios": list(RATIOS),
+            "table": table}
+
+
+if __name__ == "__main__":
+    print(run(quick=True)["table"])

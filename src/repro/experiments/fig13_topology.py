@@ -1,0 +1,85 @@
+"""Fig 13: fNoC topology and router-buffer sensitivity.
+
+(a) 1-D mesh vs ring vs crossbar at *equal bisection bandwidth*: ring
+channels are half as wide as mesh channels (twice as many cross the
+cut), so serialization hurts it; the mesh approaches the crossbar once
+bandwidth is sufficient.
+
+(b) Router input-buffer depth at scarce vs ample bandwidth: buffers
+matter only when the fabric is the bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import ArchPreset
+from ..noc import Crossbar, Mesh1D, Ring
+from .common import format_table, gc_burst_run
+
+__all__ = ["run", "BISECTIONS", "BUFFER_DEPTHS"]
+
+#: Bisection bandwidths in bytes/us (0.5 .. 4 GB/s).
+BISECTIONS = (500.0, 1000.0, 2000.0, 4000.0)
+#: 4 KiB pages packetize to 17 flits: depths below that force wormhole
+#: coupling between hops; deeper buffers absorb whole packets.
+BUFFER_DEPTHS = (2, 8, 24, 64)
+
+_TOPOLOGIES = {"mesh1d": Mesh1D, "ring": Ring, "crossbar": Crossbar}
+
+
+def _gc_perf(topology: str, bisection: float, quick: bool,
+             buffer_flits: int = 16) -> float:
+    channel_bw = _TOPOLOGIES[topology](8).channel_bandwidth_for_bisection(
+        bisection
+    )
+    _ssd, episode = gc_burst_run(
+        ArchPreset.DSSD_F, quick=quick,
+        fnoc_topology=topology,
+        fnoc_channel_bw=channel_bw,
+        fnoc_buffer_flits=buffer_flits,
+    )
+    return episode["pages_per_us"]
+
+
+def run(quick: bool = True) -> Dict:
+    """Topology and buffer sweeps; returns pages/us grids."""
+    bisections = BISECTIONS[:3] if quick else BISECTIONS
+    part_a: Dict[str, List[float]] = {}
+    for topology in _TOPOLOGIES:
+        part_a[topology] = [
+            _gc_perf(topology, b, quick) for b in bisections
+        ]
+
+    depths = BUFFER_DEPTHS[:3] if quick else BUFFER_DEPTHS
+    part_b: Dict[str, Dict[int, float]] = {}
+    for label, bisection in (("scarce", 500.0), ("ample", 4000.0)):
+        part_b[label] = {
+            depth: _gc_perf("mesh1d", bisection, quick, buffer_flits=depth)
+            for depth in depths
+        }
+
+    rows_a = [
+        [topology] + part_a[topology] for topology in _TOPOLOGIES
+    ]
+    table_a = format_table(
+        ["topology"] + [f"Bb={b / 1000:.1f}GB/s" for b in bisections],
+        rows_a,
+        title="Fig 13(a): GC pages/us at equal bisection bandwidth",
+    )
+    rows_b = [
+        [label] + [part_b[label][d] for d in depths]
+        for label in part_b
+    ]
+    table_b = format_table(
+        ["bandwidth"] + [f"{d} flits" for d in depths],
+        rows_b,
+        title="Fig 13(b): GC pages/us vs router buffer depth (mesh)",
+    )
+    return {"topologies": part_a, "buffers": part_b,
+            "bisections": list(bisections),
+            "table": table_a + "\n\n" + table_b}
+
+
+if __name__ == "__main__":
+    print(run(quick=True)["table"])

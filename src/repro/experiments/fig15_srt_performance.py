@@ -1,0 +1,135 @@
+"""Fig 15: performance cost of SRT remapping.
+
+(a) Worst-case synthetic sweep: random READ and WRITE I/O on ULL- and
+TLC-based devices as the number of populated SRT entries grows.  Remaps
+scramble block positions within each channel, so accesses that used to
+spread across planes collide -- write-heavy TLC suffers most (paper: up
+to ~2x at 2k entries).
+
+(b) Trace evaluation of the endurance-per-performance-overhead metric
+(higher is better): RESERV's endurance gain divided by its latency
+overhead, normalized to the baseline, split into read- and
+write-intensive workload groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import ArchPreset, sim_geometry
+from ..flash import TLC_TIMING, ULL_TIMING
+from ..superblock import SrtRemapper, run_endurance
+from ..workloads import READ_INTENSIVE, WRITE_INTENSIVE, make_msr_workload
+from .common import bench_durations, format_table, run_arch
+
+__all__ = ["run", "SRT_ENTRY_COUNTS", "FIG15B_TRACES"]
+
+SRT_ENTRY_COUNTS = (0, 16, 64, 256)
+
+FIG15B_TRACES = ("usr_2", "hm_1", "prn_1", "web_0",     # read-intensive
+                 "prn_0", "src1_2", "mds_0", "rsrch_0")  # write-intensive
+
+
+def _latency_with_remap(entries: int, timing, pattern: str,
+                        quick: bool) -> float:
+    geometry = sim_geometry(page_size=timing.page_size)
+    remapper = SrtRemapper(geometry, entries, seed=13) if entries else None
+    windows = bench_durations(quick)
+    from ..workloads import SyntheticWorkload
+
+    workload = SyntheticWorkload(pattern=pattern, io_size=timing.page_size)
+    _ssd, result = run_arch(ArchPreset.DSSD_F, workload,
+                            duration_us=windows["duration_us"],
+                            warmup_us=windows["warmup_us"],
+                            geometry=geometry, timing=timing,
+                            remapper=remapper)
+    return result.io_latency.mean
+
+
+def _part_a(quick: bool) -> Dict:
+    counts = SRT_ENTRY_COUNTS[:3] if quick else SRT_ENTRY_COUNTS
+    grid: Dict[str, List[float]] = {}
+    cases = (
+        ("ULL/read", ULL_TIMING, "rand_read"),
+        ("ULL/write", ULL_TIMING, "rand_write"),
+        ("TLC/read", TLC_TIMING, "rand_read"),
+        ("TLC/write", TLC_TIMING, "rand_write"),
+    )
+    shown = cases[:2] if quick else cases
+    for label, timing, pattern in shown:
+        latencies = [
+            _latency_with_remap(entries, timing, pattern, quick)
+            for entries in counts
+        ]
+        base = max(latencies[0], 1e-9)
+        grid[label] = [lat / base for lat in latencies]
+    rows = [[label] + values for label, values in grid.items()]
+    table = format_table(
+        ["case"] + [f"{n} entries" for n in counts],
+        rows,
+        title="Fig 15(a): normalized latency vs populated SRT entries",
+    )
+    return {"entries": list(counts), "normalized_latency": grid,
+            "table": table}
+
+
+def _part_b(quick: bool) -> Dict:
+    """Endurance / performance-overhead metric per trace."""
+    endurance_gain = _reserv_endurance_gain()
+    windows = bench_durations(quick)
+    traces = FIG15B_TRACES[:4] if quick else FIG15B_TRACES
+    geometry = sim_geometry()
+    metric: Dict[str, float] = {}
+    for trace in traces:
+        base_lat = _trace_latency(trace, geometry, None, windows)
+        remapper = SrtRemapper(geometry, 64, seed=17)
+        reserv_lat = _trace_latency(trace, geometry, remapper, windows)
+        overhead = reserv_lat / max(base_lat, 1e-9)
+        metric[trace] = endurance_gain / max(overhead, 1e-9)
+    read_group = [metric[t] for t in traces if t in READ_INTENSIVE]
+    write_group = [metric[t] for t in traces if t in WRITE_INTENSIVE]
+    rows = [[t, metric[t],
+             "read" if t in READ_INTENSIVE else "write"]
+            for t in traces]
+    if read_group:
+        rows.append(["MEAN(read-intensive)",
+                     sum(read_group) / len(read_group), ""])
+    if write_group:
+        rows.append(["MEAN(write-intensive)",
+                     sum(write_group) / len(write_group), ""])
+    table = format_table(
+        ["trace", "endurance/overhead vs base", "group"],
+        rows,
+        title="Fig 15(b): normalized endurance-per-overhead (>1 means "
+              "dSSD wins)",
+    )
+    return {"metric": metric, "endurance_gain": endurance_gain,
+            "table": table}
+
+
+def _trace_latency(trace, geometry, remapper, windows) -> float:
+    workload = make_msr_workload(trace, n_requests=1200, seed=6)
+    _ssd, result = run_arch(ArchPreset.DSSD_F, workload,
+                            duration_us=windows["duration_us"],
+                            warmup_us=windows["warmup_us"],
+                            geometry=geometry, remapper=remapper)
+    return result.io_latency.mean
+
+
+def _reserv_endurance_gain() -> float:
+    base = run_endurance(policy="baseline", n_superblocks=256, seed=5)
+    reserv = run_endurance(policy="reserv", n_superblocks=256, seed=5)
+    return (reserv.bytes_until_bad_fraction(0.10)
+            / base.bytes_until_bad_fraction(0.10))
+
+
+def run(quick: bool = True) -> Dict:
+    """Both panels."""
+    a = _part_a(quick)
+    b = _part_b(quick)
+    return {"part_a": a, "part_b": b,
+            "table": a["table"] + "\n\n" + b["table"]}
+
+
+if __name__ == "__main__":
+    print(run(quick=True)["table"])

@@ -1,0 +1,81 @@
+"""Fig 16: SRT sizing.
+
+(a) Endurance improvement versus SRT capacity for different device
+sizes (superblock counts): larger devices need more entries before the
+benefit saturates, and saturation lands near ~1k entries per controller
+for the paper's configuration.
+
+(b) Active SRT entries versus remap events with an unbounded table:
+occupancy climbs while static superblocks remain and then plateaus --
+the demand curve that justifies the ~1k-entry hardware budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..superblock import run_endurance
+from .common import format_table
+
+__all__ = ["run", "SRT_CAPACITIES", "DEVICE_SIZES"]
+
+SRT_CAPACITIES = (8, 32, 128, 512, None)
+DEVICE_SIZES = (256, 512, 1024)
+
+
+def run(quick: bool = True) -> Dict:
+    """Capacity x device-size sweep plus the occupancy curve."""
+    sizes = DEVICE_SIZES[:2] if quick else DEVICE_SIZES
+    threshold = 0.30
+    grid: Dict[int, List[float]] = {}
+    for n_superblocks in sizes:
+        base = run_endurance(policy="baseline",
+                             n_superblocks=n_superblocks, seed=5)
+        base_until = base.bytes_until_bad_fraction(threshold)
+        row = []
+        for capacity in SRT_CAPACITIES:
+            result = run_endurance(policy="recycled",
+                                   n_superblocks=n_superblocks,
+                                   srt_capacity=capacity, seed=5)
+            row.append(result.bytes_until_bad_fraction(threshold)
+                       / base_until)
+        grid[n_superblocks] = row
+    rows_a = [
+        [f"{n} superblocks"] + grid[n] for n in sizes
+    ]
+    headers = ["device"] + [
+        "inf" if c is None else f"{c} entries" for c in SRT_CAPACITIES
+    ]
+    table_a = format_table(
+        headers, rows_a,
+        title="Fig 16(a): endurance improvement vs SRT capacity",
+    )
+
+    # (b) occupancy with an infinite SRT.
+    result = run_endurance(policy="recycled", srt_capacity=None,
+                           n_superblocks=sizes[-1], seed=5)
+    occupancy = result.srt_occupancy[0]
+    reserv = run_endurance(policy="reserv", srt_capacity=None,
+                           n_superblocks=sizes[-1], seed=5)
+    occupancy_reserv = reserv.srt_occupancy[0]
+    sample = occupancy[:: max(1, len(occupancy) // 8)]
+    rows_b = [[event, active] for event, active in sample]
+    table_b = format_table(
+        ["remap events", "active SRT entries"],
+        rows_b,
+        title="Fig 16(b): active entries vs remap events (RECYCLED, "
+              "channel 0); plateau = table demand",
+    )
+    return {
+        "grid": grid,
+        "capacities": list(SRT_CAPACITIES),
+        "occupancy_recycled": occupancy,
+        "occupancy_reserv": occupancy_reserv,
+        "max_active_recycled": result.max_active_srt_entries,
+        "max_active_reserv": reserv.max_active_srt_entries,
+        "table": table_a + "\n\n" + table_b,
+    }
+
+
+if __name__ == "__main__":
+    print(run(quick=True)["table"])

@@ -1,0 +1,23 @@
+"""Flash memory substrate: geometry, timing, dies/planes, buses, wear."""
+
+from .channel import FlashChannel
+from .chip import BlockState, FlashBackend, FlashPlane, OpBreakdown
+from .geometry import FlashGeometry, PhysAddr
+from .timing import TLC_TIMING, ULL_TIMING, FlashTiming
+from .wear import PAPER_PE_MEAN, PAPER_PE_SIGMA, WearModel
+
+__all__ = [
+    "BlockState",
+    "FlashBackend",
+    "FlashChannel",
+    "FlashGeometry",
+    "FlashPlane",
+    "FlashTiming",
+    "OpBreakdown",
+    "PAPER_PE_MEAN",
+    "PAPER_PE_SIGMA",
+    "PhysAddr",
+    "TLC_TIMING",
+    "ULL_TIMING",
+    "WearModel",
+]

@@ -1,0 +1,262 @@
+"""Flash die / plane behavioural model.
+
+Each *plane* is a single-operation server: one array operation (read,
+program, erase) occupies it for the technology latency.  Multi-plane
+commands (paper Sec 1, PaGC) occupy several planes of the same die
+concurrently for a single array time.
+
+The model enforces NAND programming discipline per block -- a page may
+be programmed exactly once between erases -- with O(blocks) state.
+Page *content* is not simulated; the FTL layers track logical validity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generator, Iterable, List, Optional
+
+from ..errors import AddressError, FlashError
+from ..sim import Resource, Simulator
+from .geometry import FlashGeometry, PhysAddr
+from .timing import FlashTiming
+
+__all__ = ["BlockState", "FlashPlane", "FlashBackend", "OpBreakdown"]
+
+
+class BlockState:
+    """Per-physical-block programming/erase state.
+
+    The backend tracks *which* pages of a block have been programmed
+    since the last erase.  Reprogramming without an erase is an error
+    (the invariant GC correctness rests on).  Strict intra-block
+    program *ordering* is intentionally not enforced as a wait: the
+    FTL allocates pages in order, but concurrent datapath processes may
+    complete programs out of order, and blocking them on their
+    predecessors can deadlock against capacity-limited stages (dBUF
+    credits, flush workers) while adding nothing to the contention
+    metrics this model exists to measure.
+    """
+
+    __slots__ = ("programmed", "erase_count")
+
+    def __init__(self) -> None:
+        self.programmed: set = set()
+        self.erase_count = 0
+
+    @property
+    def write_ptr(self) -> int:
+        """Number of pages programmed since the last erase."""
+        return len(self.programmed)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockState(programmed={len(self.programmed)}, "
+            f"erases={self.erase_count})"
+        )
+
+
+class OpBreakdown:
+    """Timing attribution for one flash array operation."""
+
+    __slots__ = ("chip_wait", "array_time")
+
+    def __init__(self, chip_wait: float, array_time: float):
+        self.chip_wait = chip_wait
+        self.array_time = array_time
+
+    @property
+    def total(self) -> float:
+        """Wait plus service time."""
+        return self.chip_wait + self.array_time
+
+
+class FlashPlane:
+    """One flash plane: a single-slot resource plus busy accounting."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.resource = Resource(sim, capacity=1, name=name)
+        self.busy_time = 0.0
+        self.op_counts: Dict[str, int] = {"read": 0, "program": 0, "erase": 0}
+
+    def occupy(self, duration: float, op: str) -> Generator:
+        """Generator: hold the plane for *duration*, yielding wait time."""
+        t_request = self.sim.now
+        yield self.resource.request()
+        wait = self.sim.now - t_request
+        yield self.sim.timeout(duration)
+        self.resource.release()
+        self.busy_time += duration
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        return wait
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Busy fraction of the plane over ``[0, horizon]``."""
+        horizon = horizon if horizon is not None else self.sim.now
+        return min(1.0, self.busy_time / horizon) if horizon > 0 else 0.0
+
+
+class FlashBackend:
+    """The full flash array: every plane of every die, plus block state.
+
+    Array operations are exposed as generators intended to be driven by
+    flash-controller processes (``yield from backend.read(addr)``).  Each
+    returns an :class:`OpBreakdown` attributing time to plane contention
+    versus array service.
+    """
+
+    def __init__(self, sim: Simulator, geometry: FlashGeometry,
+                 timing: FlashTiming, seed: int = 1,
+                 enforce_discipline: bool = True,
+                 deterministic_timing: bool = True):
+        self.sim = sim
+        self.geometry = geometry
+        self.timing = timing
+        self.enforce_discipline = enforce_discipline
+        self.deterministic_timing = deterministic_timing
+        self._rng = random.Random(seed)
+        self.planes: List[FlashPlane] = [
+            FlashPlane(sim, name=f"plane{i}")
+            for i in range(geometry.planes_total)
+        ]
+        self._blocks: Dict[int, BlockState] = {}
+
+    # -- state access --------------------------------------------------------
+
+    def plane_of(self, addr: PhysAddr) -> FlashPlane:
+        """The :class:`FlashPlane` serving *addr*."""
+        return self.planes[self.geometry.plane_index(addr)]
+
+    def block_state(self, addr: PhysAddr) -> BlockState:
+        """Mutable per-block state for the block containing *addr*."""
+        index = self.geometry.block_index(addr)
+        state = self._blocks.get(index)
+        if state is None:
+            state = self._blocks[index] = BlockState()
+        return state
+
+    def erase_count(self, addr: PhysAddr) -> int:
+        """P/E cycles performed on the block containing *addr*."""
+        return self.block_state(addr).erase_count
+
+    # -- latency draws ---------------------------------------------------------
+
+    def _read_latency(self) -> float:
+        if self.deterministic_timing:
+            return self.timing.read_mid
+        return self.timing.sample_read(self._rng)
+
+    def _program_latency(self) -> float:
+        if self.deterministic_timing:
+            return self.timing.program_mid
+        return self.timing.sample_program(self._rng)
+
+    # -- array operations --------------------------------------------------------
+
+    def read(self, addr: PhysAddr) -> Generator:
+        """Read one page from the array into the plane's page register."""
+        self.geometry.validate(addr)
+        if self.enforce_discipline:
+            state = self.block_state(addr)
+            if addr.page not in state.programmed:
+                raise FlashError(f"read of unwritten page {addr}")
+        plane = self.plane_of(addr)
+        duration = self._read_latency()
+        wait = yield from plane.occupy(duration, "read")
+        return OpBreakdown(wait, duration)
+
+    def program(self, addr: PhysAddr) -> Generator:
+        """Program one page (reprogram without erase is rejected)."""
+        self.geometry.validate(addr)
+        if self.enforce_discipline:
+            state = self.block_state(addr)
+            if addr.page in state.programmed:
+                raise FlashError(f"reprogram of page {addr} without erase")
+            state.programmed.add(addr.page)
+        plane = self.plane_of(addr)
+        duration = self._program_latency()
+        wait = yield from plane.occupy(duration, "program")
+        return OpBreakdown(wait, duration)
+
+    def erase(self, addr: PhysAddr) -> Generator:
+        """Erase the block containing *addr*."""
+        self.geometry.validate(addr)
+        state = self.block_state(addr)
+        state.programmed.clear()
+        state.erase_count += 1
+        plane = self.plane_of(addr)
+        wait = yield from plane.occupy(self.timing.erase_us, "erase")
+        return OpBreakdown(wait, self.timing.erase_us)
+
+    def mark_block_programmed(self, addr: PhysAddr) -> None:
+        """Instantly mark every page of *addr*'s block programmed.
+
+        Pre-conditioning hook: lets experiment setup declare prefilled
+        blocks readable without simulating the fill traffic.
+        """
+        state = self.block_state(addr)
+        state.programmed = set(range(self.geometry.pages_per_block))
+
+    def multiplane(self, addrs: Iterable[PhysAddr], op: str) -> Generator:
+        """Execute *op* on several planes of one die as one command.
+
+        All addresses must live on the same die and on distinct planes;
+        the command occupies every plane concurrently for one array time.
+        Returns an :class:`OpBreakdown` with the worst-case plane wait.
+        """
+        addr_list = list(addrs)
+        if not addr_list:
+            raise AddressError("multiplane command with no addresses")
+        die = self.geometry.die_index(addr_list[0])
+        plane_ids = set()
+        for addr in addr_list:
+            self.geometry.validate(addr)
+            if self.geometry.die_index(addr) != die:
+                raise AddressError("multiplane command spans dies")
+            plane_id = self.geometry.plane_index(addr)
+            if plane_id in plane_ids:
+                raise AddressError("multiplane command reuses a plane")
+            plane_ids.add(plane_id)
+
+        if op == "read":
+            duration = self._read_latency()
+        elif op == "program":
+            duration = self._program_latency()
+        elif op == "erase":
+            duration = self.timing.erase_us
+        else:
+            raise FlashError(f"unknown multiplane op {op!r}")
+
+        if self.enforce_discipline:
+            for addr in addr_list:
+                state = self.block_state(addr)
+                if op == "program" and addr.page in state.programmed:
+                    raise FlashError(
+                        f"multiplane reprogram without erase: {addr}"
+                    )
+                if op == "read" and addr.page not in state.programmed:
+                    raise FlashError(f"multiplane read of unwritten {addr}")
+        if op == "program":
+            for addr in addr_list:
+                self.block_state(addr).programmed.add(addr.page)
+        elif op == "erase":
+            for addr in addr_list:
+                state = self.block_state(addr)
+                state.programmed.clear()
+                state.erase_count += 1
+
+        procs = [
+            self.sim.process(self.plane_of(addr).occupy(duration, op))
+            for addr in addr_list
+        ]
+        waits = yield self.sim.all_of(procs)
+        return OpBreakdown(max(waits), duration)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def mean_plane_utilization(self) -> float:
+        """Average busy fraction across all planes."""
+        if not self.planes:
+            return 0.0
+        return sum(p.utilization() for p in self.planes) / len(self.planes)

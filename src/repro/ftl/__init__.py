@@ -1,0 +1,30 @@
+"""Flash translation layer: mapping, blocks, GC, request handling."""
+
+from .blocks import ACTIVE, BAD, COLLECTING, BlockInfo, BlockManager, \
+    FREE, FULL
+from .ftl import Ftl, WRITE_POLICIES
+from .gc import GC_POLICIES, GarbageCollector, GcStats
+from .mapping import PageMappingTable
+from .request import READ, TRIM, WRITE, IoRequest
+from .wear_leveling import StaticWearLeveler
+
+__all__ = [
+    "ACTIVE",
+    "BAD",
+    "BlockInfo",
+    "BlockManager",
+    "COLLECTING",
+    "FREE",
+    "FULL",
+    "Ftl",
+    "StaticWearLeveler",
+    "TRIM",
+    "GC_POLICIES",
+    "GarbageCollector",
+    "GcStats",
+    "IoRequest",
+    "PageMappingTable",
+    "READ",
+    "WRITE",
+    "WRITE_POLICIES",
+]

@@ -1,0 +1,297 @@
+"""Physical block management: allocation, validity tracking, victims.
+
+The block manager owns the FTL's view of every physical block: its
+state (free / active / full / bad), its write pointer, and which of its
+pages hold valid data.  Page allocation round-robins across planes to
+expose channel/way/plane parallelism; garbage collection asks it for
+greedy victims (fewest valid pages) and returns erased blocks to the
+free pool.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
+
+from ..errors import AddressError, MappingError
+from ..flash import FlashGeometry, PhysAddr
+
+__all__ = ["BlockInfo", "BlockManager", "FREE", "ACTIVE", "FULL", "BAD",
+           "COLLECTING"]
+
+FREE = "free"
+ACTIVE = "active"
+FULL = "full"
+BAD = "bad"
+#: Transitional state: a GC or wear-leveling worker owns the block and
+#: is migrating its pages; nobody else may select it.
+COLLECTING = "collecting"
+
+
+class BlockInfo:
+    """State of one physical block.
+
+    ``pending`` counts pages allocated but not yet committed (their
+    program is still in flight); blocks with pending pages are never
+    eligible GC victims.
+    """
+
+    __slots__ = ("addr", "state", "write_ptr", "valid", "pending")
+
+    def __init__(self, addr: PhysAddr):
+        self.addr = addr.block_addr()
+        self.state = FREE
+        self.write_ptr = 0
+        self.valid: Set[int] = set()
+        self.pending = 0
+
+    @property
+    def valid_count(self) -> int:
+        """Number of valid pages in the block."""
+        return len(self.valid)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockInfo({self.addr}, {self.state}, wp={self.write_ptr}, "
+            f"valid={self.valid_count})"
+        )
+
+
+class BlockManager:
+    """Allocator + validity bookkeeping over the whole device.
+
+    ``gc_reserve_blocks`` free blocks per plane are withheld from host
+    allocation so garbage collection always has destinations available
+    (the standard over-provisioning floor that prevents write deadlock).
+    """
+
+    def __init__(self, geometry: FlashGeometry, gc_reserve_blocks: int = 1):
+        if gc_reserve_blocks < 0:
+            raise MappingError(
+                f"negative gc reserve: {gc_reserve_blocks}"
+            )
+        if gc_reserve_blocks >= geometry.blocks_per_plane:
+            raise MappingError(
+                "gc reserve must leave at least one allocatable block"
+            )
+        self.geometry = geometry
+        self.gc_reserve_blocks = gc_reserve_blocks
+        self.blocks: Dict[int, BlockInfo] = {}
+        self._free: List[Deque[int]] = [
+            deque() for _ in range(geometry.planes_total)
+        ]
+        self._active: List[Optional[int]] = [None] * geometry.planes_total
+        self._cursor = 0
+        self.free_blocks = geometry.blocks_total
+        self.bad_blocks = 0
+
+        for block_index in range(geometry.blocks_total):
+            addr = geometry.block_addr_of(block_index)
+            self.blocks[block_index] = BlockInfo(addr)
+            self._free[geometry.plane_index(addr)].append(block_index)
+
+    # -- queries ----------------------------------------------------------
+
+    def info(self, addr: PhysAddr) -> BlockInfo:
+        """Block info for the block containing *addr*."""
+        return self.blocks[self.geometry.block_index(addr)]
+
+    @property
+    def free_fraction(self) -> float:
+        """Fraction of non-bad blocks that are free."""
+        usable = self.geometry.blocks_total - self.bad_blocks
+        return self.free_blocks / usable if usable else 0.0
+
+    def plane_free_blocks(self, plane: int) -> int:
+        """Free blocks currently pooled in one plane."""
+        return len(self._free[plane])
+
+    def host_allocatable(self) -> bool:
+        """Whether any plane can currently serve a host allocation."""
+        for plane in range(self.geometry.planes_total):
+            if self._active[plane] is not None:
+                return True
+            if len(self._free[plane]) > self.gc_reserve_blocks:
+                return True
+        return False
+
+    def valid_pages_of(self, addr: PhysAddr) -> List[PhysAddr]:
+        """Addresses of all currently valid pages in *addr*'s block."""
+        info = self.info(addr)
+        return [info.addr._replace(page=offset) for offset in sorted(info.valid)]
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate_page(self, for_gc: bool = False,
+                      plane: Optional[int] = None) -> PhysAddr:
+        """Allocate the next physical page.
+
+        Round-robins across planes (unless *plane* pins one).  Host
+        allocations skip planes whose free pool has fallen to the GC
+        reserve; GC allocations may dip into the reserve.  Raises
+        :class:`MappingError` when no plane can supply a page.
+        """
+        planes_total = self.geometry.planes_total
+        if plane is not None:
+            addr = self._try_allocate_in_plane(plane, for_gc)
+            if addr is None:
+                raise MappingError(f"no allocatable page in plane {plane}")
+            return addr
+        cursor = self._cursor
+        for offset in range(planes_total):
+            candidate = cursor + offset
+            if candidate >= planes_total:
+                candidate -= planes_total
+            addr = self._try_allocate_in_plane(candidate, for_gc)
+            if addr is not None:
+                self._cursor = (candidate + 1) % planes_total
+                return addr
+        raise MappingError(
+            f"no allocatable page (for_gc={for_gc}); device full"
+        )
+
+    def _try_allocate_in_plane(self, plane: int,
+                               for_gc: bool) -> Optional[PhysAddr]:
+        active_index = self._active[plane]
+        if active_index is None:
+            free_pool = self._free[plane]
+            if not free_pool:
+                return None
+            if not for_gc and len(free_pool) <= self.gc_reserve_blocks:
+                return None
+            active_index = free_pool.popleft()
+            self.free_blocks -= 1
+            info = self.blocks[active_index]
+            info.state = ACTIVE
+            info.write_ptr = 0
+            self._active[plane] = active_index
+        info = self.blocks[active_index]
+        addr = info.addr._replace(page=info.write_ptr)
+        info.write_ptr += 1
+        info.pending += 1
+        if info.write_ptr >= self.geometry.pages_per_block:
+            info.state = FULL
+            self._active[plane] = None
+        return addr
+
+    # -- validity ---------------------------------------------------------
+
+    def mark_valid(self, addr: PhysAddr) -> None:
+        """Record that the page at *addr* now holds valid data."""
+        info = self.info(addr)
+        if addr.page >= info.write_ptr:
+            raise MappingError(f"mark_valid of unwritten page {addr}")
+        info.valid.add(addr.page)
+
+    def commit_page(self, addr: PhysAddr, valid: bool) -> None:
+        """Finish an allocated page's program: clear pending, set validity.
+
+        Every :meth:`allocate_page` must be matched by exactly one
+        ``commit_page`` once the program completes -- with
+        ``valid=False`` when the data became stale in flight.
+        """
+        info = self.info(addr)
+        if info.pending <= 0:
+            raise MappingError(f"commit without pending allocation: {addr}")
+        info.pending -= 1
+        if valid:
+            self.mark_valid(addr)
+
+    def invalidate(self, addr: PhysAddr) -> None:
+        """Record that the page at *addr* no longer holds valid data."""
+        info = self.info(addr)
+        info.valid.discard(addr.page)
+
+    # -- garbage collection support ----------------------------------------------
+
+    def pick_victim(self, plane: int,
+                    max_valid_fraction: float = 1.0) -> Optional[PhysAddr]:
+        """Greedy victim in *plane*: the FULL block with fewest valid pages.
+
+        Blocks with more than ``max_valid_fraction`` of their pages valid
+        are skipped (no point copying nearly-full blocks).  Returns None
+        if the plane has no eligible victim.
+        """
+        best: Optional[BlockInfo] = None
+        base = plane * self.geometry.blocks_per_plane
+        limit = self.geometry.pages_per_block * max_valid_fraction
+        for block_index in range(base, base + self.geometry.blocks_per_plane):
+            info = self.blocks[block_index]
+            if info.state != FULL or info.pending > 0:
+                continue
+            if info.valid_count > limit:
+                continue
+            if best is None or info.valid_count < best.valid_count:
+                best = info
+                if best.valid_count == 0:
+                    break
+        return best.addr if best is not None else None
+
+    def claim_for_collection(self, addr: PhysAddr) -> None:
+        """Mark a FULL block as owned by a migration worker."""
+        info = self.info(addr)
+        if info.state != FULL:
+            raise MappingError(f"cannot collect non-FULL block {addr}")
+        info.state = COLLECTING
+
+    def unclaim(self, addr: PhysAddr) -> None:
+        """Return a COLLECTING block to FULL (migration aborted)."""
+        info = self.info(addr)
+        if info.state != COLLECTING:
+            raise MappingError(f"unclaim of non-collecting block {addr}")
+        info.state = FULL
+
+    def release_block(self, addr: PhysAddr) -> None:
+        """Return an erased block to its plane's free pool."""
+        info = self.info(addr)
+        if info.state == BAD:
+            raise MappingError(f"release of bad block {addr}")
+        if info.valid:
+            raise MappingError(
+                f"release of block with {info.valid_count} valid pages: {addr}"
+            )
+        info.state = FREE
+        info.write_ptr = 0
+        self._free[self.geometry.plane_index(addr)].append(
+            self.geometry.block_index(addr)
+        )
+        self.free_blocks += 1
+
+    def mark_bad(self, addr: PhysAddr) -> None:
+        """Permanently retire the block containing *addr*."""
+        info = self.info(addr)
+        plane = self.geometry.plane_index(addr)
+        block_index = self.geometry.block_index(addr)
+        if info.state == FREE:
+            plane_pool = self._free[plane]
+            if block_index in plane_pool:
+                plane_pool.remove(block_index)
+                self.free_blocks -= 1
+        elif info.state == ACTIVE and self._active[plane] == block_index:
+            # Never hand out pages from a retired block.
+            self._active[plane] = None
+        info.state = BAD
+        info.valid.clear()
+        self.bad_blocks += 1
+
+    # -- instant pre-conditioning ---------------------------------------------
+
+    def prefill_block(self, addr: PhysAddr,
+                      valid_offsets: Set[int]) -> None:
+        """Instantly mark a free block FULL with the given valid pages.
+
+        Used by experiment setup to pre-condition a "fully utilized" SSD
+        (paper Sec 6.1) without simulating the fill traffic.
+        """
+        info = self.info(addr)
+        if info.state != FREE:
+            raise MappingError(f"prefill of non-free block {addr}")
+        for offset in valid_offsets:
+            if not 0 <= offset < self.geometry.pages_per_block:
+                raise AddressError(f"prefill offset {offset} out of range")
+        plane_pool = self._free[self.geometry.plane_index(addr)]
+        plane_pool.remove(self.geometry.block_index(addr))
+        self.free_blocks -= 1
+        info.state = FULL
+        info.write_ptr = self.geometry.pages_per_block
+        info.valid = set(valid_offsets)

@@ -1,0 +1,294 @@
+"""The flash translation layer: I/O handling, write buffering, flushing.
+
+The FTL receives host requests, translates addresses, services DRAM
+hits, stages write-back data in the DRAM write buffer, and drives the
+background flushers that materialize buffered pages into flash.  All
+actual data movement is delegated to the architecture datapath so the
+same FTL runs unmodified on every configuration -- one of the paper's
+design principles ("minimize the impact on FTL").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generator, List
+
+from ..controller import Breakdown, HostInterface
+from ..errors import ConfigError, MappingError
+from ..flash import FlashGeometry
+from ..sim import LatencyStats, Simulator, Store, TimeBins
+from .blocks import BlockManager
+from .gc import GarbageCollector
+from .mapping import PageMappingTable
+from .request import READ, TRIM, WRITE, IoRequest
+
+__all__ = ["Ftl", "WRITE_POLICIES"]
+
+WRITE_POLICIES = ("writeback", "writethrough")
+
+
+class Ftl:
+    """Firmware layer tying host, mapping, buffers, GC, and datapath."""
+
+    def __init__(self, sim: Simulator, geometry: FlashGeometry,
+                 mapping: PageMappingTable, blocks: BlockManager,
+                 datapath, host: HostInterface, gc: GarbageCollector,
+                 write_policy: str = "writeback",
+                 flush_workers: int = 32,
+                 bin_width: float = 1000.0,
+                 breakdown_samples: int = 2048):
+        if write_policy not in WRITE_POLICIES:
+            raise ConfigError(f"unknown write policy {write_policy!r}")
+        if flush_workers < 1:
+            raise ConfigError(f"flush_workers must be >= 1: {flush_workers}")
+        self.sim = sim
+        self.geometry = geometry
+        self.mapping = mapping
+        self.blocks = blocks
+        self.datapath = datapath
+        self.host = host
+        self.gc = gc
+        self.write_policy = write_policy
+        self.flush_workers = flush_workers
+        self.breakdown_samples = breakdown_samples
+
+        self._dirty: Dict[int, bool] = {}
+        self._flush_queue = Store(sim, name="flush_queue")
+        self._flushers_started = False
+
+        self.io_latency = LatencyStats("io")
+        self.read_latency = LatencyStats("read")
+        self.write_latency = LatencyStats("write")
+        self.completed_bytes = TimeBins(bin_width)
+        self.requests_completed = 0
+        self.trims_processed = 0
+        self.io_breakdowns: List[Breakdown] = []
+        self.flush_stalls = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch background flusher processes (write-back mode only)."""
+        if self._flushers_started or self.write_policy != "writeback":
+            return
+        self._flushers_started = True
+        for worker in range(self.flush_workers):
+            self.sim.process(self._flusher(), name=f"flusher{worker}")
+
+    # -- host request handling ---------------------------------------------------
+
+    def submit(self, request: IoRequest):
+        """Start processing a request; returns its process handle."""
+        return self.sim.process(self._handle(request),
+                                name=f"io{request.request_id}")
+
+    def _handle(self, request: IoRequest) -> Generator:
+        request.issue_time = self.sim.now
+        yield from self.host.submit()
+        breakdown = Breakdown()
+        if request.op == WRITE:
+            yield from self._handle_write(request, breakdown)
+        elif request.op == TRIM:
+            yield from self._handle_trim(request, breakdown)
+        else:
+            yield from self._handle_read(request, breakdown)
+        request.complete_time = self.sim.now
+        self.host.complete()
+        self._record(request, breakdown)
+        return request
+
+    def _handle_write(self, request: IoRequest,
+                      breakdown: Breakdown) -> Generator:
+        t0 = self.sim.now
+        yield from self.host.transfer(request.bytes(self.geometry.page_size))
+        breakdown.add("host", self.sim.now - t0)
+        if request.dram_hit:
+            yield from self.datapath.io_dram_rw(
+                request.bytes(self.geometry.page_size), breakdown
+            )
+            return
+        if self.write_policy == "writeback":
+            for offset in range(request.n_pages):
+                yield from self._buffer_write(request.lpn + offset, breakdown)
+        else:
+            procs = [
+                self.sim.process(
+                    self._write_through_page(request.lpn + offset, breakdown)
+                )
+                for offset in range(request.n_pages)
+            ]
+            yield self.sim.all_of(procs)
+
+    def _handle_read(self, request: IoRequest,
+                     breakdown: Breakdown) -> Generator:
+        if request.dram_hit:
+            yield from self.datapath.io_dram_rw(
+                request.bytes(self.geometry.page_size), breakdown, "read"
+            )
+        else:
+            procs = [
+                self.sim.process(
+                    self._read_page(request.lpn + offset, breakdown)
+                )
+                for offset in range(request.n_pages)
+            ]
+            yield self.sim.all_of(procs)
+        t0 = self.sim.now
+        yield from self.host.transfer(request.bytes(self.geometry.page_size))
+        breakdown.add("host", self.sim.now - t0)
+
+    def _handle_trim(self, request: IoRequest,
+                     breakdown: Breakdown) -> Generator:
+        """Deallocate an LPN range: mapping-table work only, no data.
+
+        Trimmed pages become GC-reclaimable immediately, so a trim-aware
+        host reduces write amplification for free.
+        """
+        for offset in range(request.n_pages):
+            lpn = request.lpn + offset
+            self._dirty.pop(lpn, None)
+            ppn = self.mapping.unbind(lpn)
+            if ppn is not None:
+                self.blocks.invalidate(self.geometry.addr_of(ppn))
+        # Command processing cost only (mapping update in SRAM/DRAM).
+        yield from self.datapath.io_dram_rw(64 * request.n_pages,
+                                            breakdown, "write")
+        self.trims_processed += 1
+
+    # -- per-page paths --------------------------------------------------------
+
+    def _buffer_write(self, lpn: int, breakdown: Breakdown) -> Generator:
+        """Write-back: stage one page in the DRAM buffer."""
+        coalesced = lpn in self._dirty
+        if not coalesced:
+            # May backpressure: the buffer is full until a flush completes.
+            yield self.datapath.dram.reserve_buffer_page()
+        yield from self.datapath.io_dram_rw(self.geometry.page_size,
+                                            breakdown)
+        if not coalesced:
+            self._dirty[lpn] = True
+            self._flush_queue.put(lpn)
+
+    def _write_through_page(self, lpn: int,
+                            breakdown: Breakdown) -> Generator:
+        """Write-through: the page completes only after flash program."""
+        addr = yield from self._allocate_with_gc()
+        yield from self.datapath.io_program(addr, breakdown)
+        self._bind(lpn, addr)
+        self.gc.maybe_trigger()
+
+    def _read_page(self, lpn: int, breakdown: Breakdown) -> Generator:
+        if lpn in self._dirty:
+            yield from self.datapath.io_dram_rw(self.geometry.page_size,
+                                                breakdown, "read")
+            return
+        ppn = self.mapping.lookup(lpn)
+        if ppn is None:
+            # Unwritten LPN: serve zeroes from the controller (DRAM path).
+            yield from self.datapath.io_dram_rw(self.geometry.page_size,
+                                                breakdown, "read")
+            return
+        addr = self.geometry.addr_of(ppn)
+        yield from self.datapath.io_read_flash(addr, breakdown)
+
+    # -- flushing -----------------------------------------------------------------
+
+    def _flusher(self) -> Generator:
+        while True:
+            lpn = yield self._flush_queue.get()
+            self._dirty.pop(lpn, None)
+            addr = yield from self._allocate_with_gc()
+            breakdown = Breakdown()
+            yield from self.datapath.io_flush_write(addr, breakdown)
+            self.datapath.dram.release_buffer_page()
+            self._bind(lpn, addr)
+            self.gc.maybe_trigger()
+
+    def _allocate_with_gc(self) -> Generator:
+        """Allocate a host page, triggering and awaiting GC if starved."""
+        while True:
+            try:
+                addr = self.blocks.allocate_page(for_gc=False)
+            except MappingError:
+                self.flush_stalls += 1
+                self.gc.maybe_trigger(force=True)
+                yield self.sim.timeout(self.gc.preempt_poll_us)
+                continue
+            return addr
+
+    def _bind(self, lpn: int, addr) -> None:
+        ppn = self.geometry.ppn_of(addr)
+        old_ppn = self.mapping.bind(lpn, ppn)
+        self.blocks.commit_page(addr, valid=True)
+        if old_ppn is not None:
+            self.blocks.invalidate(self.geometry.addr_of(old_ppn))
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def _record(self, request: IoRequest, breakdown: Breakdown) -> None:
+        latency = request.latency
+        self.io_latency.add(latency)
+        if request.op == READ:
+            self.read_latency.add(latency)
+        elif request.op == WRITE:
+            self.write_latency.add(latency)
+        if request.op != TRIM:   # trims move no data
+            self.completed_bytes.add(
+                self.sim.now, request.bytes(self.geometry.page_size)
+            )
+        self.requests_completed += 1
+        if len(self.io_breakdowns) < self.breakdown_samples:
+            self.io_breakdowns.append(breakdown)
+
+    @property
+    def dirty_pages(self) -> int:
+        """Pages currently staged in the write buffer."""
+        return len(self._dirty)
+
+    def mean_io_breakdown(self) -> Breakdown:
+        """Component-wise mean of sampled per-request breakdowns."""
+        return Breakdown.mean(self.io_breakdowns)
+
+    # -- pre-conditioning -------------------------------------------------------------
+
+    def prefill(self, fill_fraction: float = 0.9,
+                valid_ratio: float = 0.6, seed: int = 1) -> int:
+        """Instantly pre-condition the device (paper Sec 6.1).
+
+        Marks ``fill_fraction`` of all blocks FULL; each filled block
+        holds ``valid_ratio`` of its pages as valid mapped LPNs and the
+        rest invalid (pre-invalidated so GC has work).  Returns the
+        number of LPNs mapped.  Must run before any simulated traffic.
+        """
+        if not 0.0 < fill_fraction <= 1.0:
+            raise ConfigError(f"fill_fraction out of (0,1]: {fill_fraction}")
+        if not 0.0 <= valid_ratio <= 1.0:
+            raise ConfigError(f"valid_ratio out of [0,1]: {valid_ratio}")
+        rng = random.Random(seed)
+        geometry = self.geometry
+        pages_per_block = geometry.pages_per_block
+        fill_per_plane = int(round(geometry.blocks_per_plane * fill_fraction))
+        fill_per_plane = min(fill_per_plane, geometry.blocks_per_plane)
+        lpn = 0
+        backend = getattr(self.datapath, "backend", None)
+        # Fill plane-by-plane so the surviving free blocks are spread
+        # evenly across channels -- a linear fill would leave every free
+        # block on the last channel and hotspot all future allocation.
+        for plane in range(geometry.planes_total):
+            base = plane * geometry.blocks_per_plane
+            for block_offset in range(fill_per_plane):
+                addr = geometry.block_addr_of(base + block_offset)
+                if self.blocks.info(addr).state != "free":
+                    continue
+                n_valid = int(round(pages_per_block * valid_ratio))
+                offsets = rng.sample(range(pages_per_block), n_valid)
+                self.blocks.prefill_block(addr, set(offsets))
+                for offset in offsets:
+                    page_addr = addr._replace(page=offset)
+                    self.mapping.bind(lpn, geometry.ppn_of(page_addr))
+                    lpn += 1
+                if backend is not None:
+                    # The datapath may remap logical block positions
+                    # (SRT); the *physical* block must read as written.
+                    backend.mark_block_programmed(self.datapath.remap(addr))
+        return lpn

@@ -1,0 +1,272 @@
+"""Garbage-collection engine and the three policies the paper compares.
+
+* ``pagc`` -- parallel GC (the paper's Baseline, after Shahidi et al.):
+  when triggered, every plane collects concurrently until the free pool
+  recovers.
+* ``preemptive`` -- semi-preemptive GC (Lee et al.): page moves yield to
+  pending host I/O unless the free pool has fallen below a hard floor.
+* ``tinytail`` -- Tiny-Tail-style partial GC (Yan et al.): only a small
+  number of channels collect at a time, in bounded bursts, so that most
+  channels remain free to serve I/O.
+
+The engine is datapath-agnostic: page movement is delegated to the
+architecture's datapath object (baseline bounce-through-DRAM versus
+decoupled global copyback).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..controller import Breakdown
+from ..errors import ConfigError, MappingError
+from ..flash import PhysAddr
+from ..sim import Resource, Simulator
+from .blocks import BlockManager
+from .mapping import PageMappingTable
+
+__all__ = ["GarbageCollector", "GcStats", "GC_POLICIES"]
+
+GC_POLICIES = ("pagc", "preemptive", "tinytail")
+
+
+class GcStats:
+    """Aggregate garbage-collection measurements."""
+
+    def __init__(self) -> None:
+        self.pages_moved = 0
+        self.pages_dropped = 0      # invalidated mid-flight
+        self.alloc_stalls = 0       # destination allocation retries
+        self.blocks_erased = 0
+        self.episodes = 0
+        self.busy_time = 0.0
+        self.move_breakdowns: List[Breakdown] = []
+        #: One dict per finished episode: start, end, pages, blocks.
+        self.episode_log: List[dict] = []
+
+    @property
+    def throughput_pages_per_us(self) -> float:
+        """Pages moved per microsecond of active GC time."""
+        return self.pages_moved / self.busy_time if self.busy_time else 0.0
+
+    def mean_move_breakdown(self) -> Breakdown:
+        """Component-wise mean of sampled page-move breakdowns."""
+        return Breakdown.mean(self.move_breakdowns)
+
+
+class GarbageCollector:
+    """Policy-driven GC over a :class:`BlockManager` and a datapath."""
+
+    def __init__(self, sim: Simulator, mapping: PageMappingTable,
+                 block_manager: BlockManager, datapath,
+                 host=None, policy: str = "pagc",
+                 trigger_free_fraction: float = 0.10,
+                 stop_free_fraction: float = 0.175,
+                 hard_floor_fraction: float = 0.03,
+                 tinytail_channels: int = 1,
+                 partial_pages: int = 8,
+                 preempt_poll_us: float = 10.0,
+                 sample_breakdowns: int = 512,
+                 pipeline_depth: int = 4):
+        if policy not in GC_POLICIES:
+            raise ConfigError(f"unknown GC policy {policy!r}")
+        if not 0.0 < trigger_free_fraction < stop_free_fraction <= 1.0:
+            raise ConfigError(
+                "need 0 < trigger < stop <= 1, got "
+                f"{trigger_free_fraction}/{stop_free_fraction}"
+            )
+        if tinytail_channels < 1 or partial_pages < 1:
+            raise ConfigError("tinytail parameters must be >= 1")
+        if pipeline_depth < 1:
+            raise ConfigError(f"pipeline_depth must be >= 1: {pipeline_depth}")
+        self.sim = sim
+        self.mapping = mapping
+        self.blocks = block_manager
+        self.datapath = datapath
+        self.host = host
+        self.policy = policy
+        self.trigger_free_fraction = trigger_free_fraction
+        self.stop_free_fraction = stop_free_fraction
+        self.hard_floor_fraction = hard_floor_fraction
+        self.partial_pages = partial_pages
+        self.preempt_poll_us = preempt_poll_us
+        self.sample_breakdowns = sample_breakdowns
+        self.pipeline_depth = pipeline_depth
+        self.stats = GcStats()
+        self.active = False
+        self._episode_start: Optional[float] = None
+        self._tt_tokens = Resource(sim, capacity=tinytail_channels,
+                                   name="tinytail_channels")
+
+    # -- triggering ----------------------------------------------------------
+
+    def needs_gc(self) -> bool:
+        """Whether the free pool is below the trigger threshold."""
+        return self.blocks.free_fraction < self.trigger_free_fraction
+
+    def maybe_trigger(self, force: bool = False) -> bool:
+        """Start a GC episode if needed and not already running.
+
+        ``force=True`` starts an episode regardless of the threshold --
+        the FTL uses it when a host allocation starves, which can happen
+        with the free fraction sitting exactly on the trigger boundary.
+        """
+        if self.active or (not force and not self.needs_gc()):
+            return False
+        self.active = True
+        self.sim.process(self._episode(), name="gc_episode")
+        return True
+
+    # -- episode ---------------------------------------------------------------
+
+    def current_busy_time(self) -> float:
+        """GC busy time including any still-running episode."""
+        busy = self.stats.busy_time
+        if self.active and self._episode_start is not None:
+            busy += self.sim.now - self._episode_start
+        return busy
+
+    def _episode(self) -> Generator:
+        start = self.sim.now
+        self._episode_start = start
+        self.stats.episodes += 1
+        pages0 = self.stats.pages_moved
+        blocks0 = self.stats.blocks_erased
+        geometry = self.blocks.geometry
+        if self.policy == "tinytail":
+            workers = [
+                self.sim.process(self._channel_worker(channel))
+                for channel in range(geometry.channels)
+            ]
+        else:
+            workers = [
+                self.sim.process(self._plane_worker(plane))
+                for plane in range(geometry.planes_total)
+            ]
+        yield self.sim.all_of(workers)
+        end = self.sim.now
+        self.stats.busy_time += end - start
+        self.stats.episode_log.append({
+            "start": start,
+            "end": end,
+            "pages": self.stats.pages_moved - pages0,
+            "blocks": self.stats.blocks_erased - blocks0,
+        })
+        self._episode_start = None
+        self.active = False
+
+    def _should_collect(self) -> bool:
+        """Keep collecting below the stop threshold -- and also whenever
+        the host cannot allocate at all (pools stuck at the GC reserve),
+        which can happen with the device-wide fraction looking healthy."""
+        if self.blocks.free_fraction < self.stop_free_fraction:
+            return True
+        return not self.blocks.host_allocatable()
+
+    def _plane_worker(self, plane: int) -> Generator:
+        while self._should_collect():
+            victim = self.blocks.pick_victim(plane)
+            if victim is None:
+                return
+            yield from self._collect_block(victim)
+
+    def _channel_worker(self, channel: int) -> Generator:
+        """TinyTail: all planes of one channel, gated by the channel tokens."""
+        geometry = self.blocks.geometry
+        planes = [
+            geometry.plane_index(PhysAddr(channel, way, die, plane, 0, 0))
+            for way in range(geometry.ways)
+            for die in range(geometry.dies)
+            for plane in range(geometry.planes)
+        ]
+        while self._should_collect():
+            progressed = False
+            for plane in planes:
+                if not self._should_collect():
+                    return
+                victim = self.blocks.pick_victim(plane)
+                if victim is None:
+                    continue
+                progressed = True
+                yield from self._collect_block(victim, gated=True)
+            if not progressed:
+                return
+
+    # -- block collection ---------------------------------------------------------
+
+    def _collect_block(self, victim: PhysAddr, gated: bool = False) -> Generator:
+        """Move the victim's valid pages, erase it, return it to the pool.
+
+        Page moves are issued ``pipeline_depth`` at a time (mirroring
+        PaGC's plane-parallel bursts); the TinyTail policy instead holds
+        a channel token for at most ``partial_pages`` moves per burst.
+        """
+        self.blocks.claim_for_collection(victim)
+        pages = self.blocks.valid_pages_of(victim)
+        burst = (self.partial_pages if gated
+                 else max(self.pipeline_depth, 1))
+        for start in range(0, len(pages), burst):
+            chunk = pages[start:start + burst]
+            if self.policy == "preemptive":
+                yield from self._wait_for_io_quiet()
+            if gated:
+                yield self._tt_tokens.request()
+            moves = [self.sim.process(self._move_page(src))
+                     for src in chunk]
+            yield self.sim.all_of(moves)
+            if gated:
+                self._tt_tokens.release()
+
+        if gated:
+            yield self._tt_tokens.request()
+        yield from self.datapath.gc_erase(victim)
+        if gated:
+            self._tt_tokens.release()
+        self.blocks.release_block(victim)
+        self.stats.blocks_erased += 1
+
+    def _move_page(self, src: PhysAddr) -> Generator:
+        geometry = self.blocks.geometry
+        src_ppn = geometry.ppn_of(src)
+        if self.mapping.reverse_lookup(src_ppn) is None:
+            # Host overwrote this LPN since the victim scan; nothing to move.
+            self.blocks.invalidate(src)
+            self.stats.pages_dropped += 1
+            return
+        dst = None
+        while dst is None:
+            try:
+                dst = self.blocks.allocate_page(for_gc=True)
+            except MappingError:
+                # Transiently out of destinations: wait for an erase from
+                # another worker to replenish the pool, then retry.
+                self.stats.alloc_stalls += 1
+                yield self.sim.timeout(self.preempt_poll_us)
+                if self.mapping.reverse_lookup(src_ppn) is None:
+                    self.blocks.invalidate(src)
+                    self.stats.pages_dropped += 1
+                    return
+        breakdown = yield from self.datapath.gc_move(src, dst)
+        dst_ppn = geometry.ppn_of(dst)
+        if self.mapping.reverse_lookup(src_ppn) is not None:
+            self.mapping.move(src_ppn, dst_ppn)
+            self.blocks.commit_page(dst, valid=True)
+            self.blocks.invalidate(src)
+            self.stats.pages_moved += 1
+        else:
+            # Invalidated while the copy was in flight: the copied page
+            # is dead on arrival and will be reclaimed by a later GC.
+            self.blocks.commit_page(dst, valid=False)
+            self.blocks.invalidate(src)
+            self.stats.pages_dropped += 1
+        if len(self.stats.move_breakdowns) < self.sample_breakdowns:
+            self.stats.move_breakdowns.append(breakdown)
+
+    def _wait_for_io_quiet(self) -> Generator:
+        """Preemptive policy: stall while host I/O is pending, unless the
+        free pool has hit the hard floor."""
+        if self.host is None:
+            return
+        while (self.host.outstanding > 0
+               and self.blocks.free_fraction > self.hard_floor_fraction):
+            yield self.sim.timeout(self.preempt_poll_us)

@@ -1,0 +1,53 @@
+"""Host I/O request representation."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigError
+
+__all__ = ["IoRequest", "READ", "WRITE", "TRIM"]
+
+READ = "read"
+WRITE = "write"
+TRIM = "trim"
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class IoRequest:
+    """One host I/O: *n_pages* logical pages starting at *lpn*.
+
+    ``dram_hit`` marks requests the workload declares DRAM-serviceable
+    (the paper's "DRAM hit" scenario where no flash access occurs).
+    """
+
+    op: str
+    lpn: int
+    n_pages: int
+    dram_hit: bool = False
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    issue_time: Optional[float] = None
+    complete_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in (READ, WRITE, TRIM):
+            raise ConfigError(f"unknown op {self.op!r}")
+        if self.lpn < 0 or self.n_pages < 1:
+            raise ConfigError(
+                f"bad extent lpn={self.lpn} n_pages={self.n_pages}"
+            )
+
+    def bytes(self, page_size: int) -> int:
+        """Request size in bytes."""
+        return self.n_pages * page_size
+
+    @property
+    def latency(self) -> float:
+        """Completion minus issue time (raises if incomplete)."""
+        if self.issue_time is None or self.complete_time is None:
+            raise ConfigError(f"request {self.request_id} not finished")
+        return self.complete_time - self.issue_time

@@ -1,0 +1,34 @@
+"""Flash-controller network-on-chip (fNoC) simulator."""
+
+from .network import (
+    DEFAULT_BUFFER_FLITS,
+    DEFAULT_NI_LATENCY_US,
+    DEFAULT_ROUTER_LATENCY_US,
+    FNoC,
+    NocBreakdown,
+)
+from .packet import (
+    DEFAULT_FLIT_BYTES,
+    DEFAULT_HEADER_BYTES,
+    Packet,
+    flit_count,
+)
+from .topology import XBAR_HUB, Crossbar, Mesh1D, Mesh2D, Ring, Topology
+
+__all__ = [
+    "Crossbar",
+    "DEFAULT_BUFFER_FLITS",
+    "DEFAULT_FLIT_BYTES",
+    "DEFAULT_HEADER_BYTES",
+    "DEFAULT_NI_LATENCY_US",
+    "DEFAULT_ROUTER_LATENCY_US",
+    "FNoC",
+    "flit_count",
+    "Mesh1D",
+    "Mesh2D",
+    "NocBreakdown",
+    "Packet",
+    "Ring",
+    "Topology",
+    "XBAR_HUB",
+]

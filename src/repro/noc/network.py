@@ -1,0 +1,244 @@
+"""The flash-controller network-on-chip (fNoC) fabric.
+
+Switching model: virtual cut-through at packet granularity with
+flit-level serialization and credit-based input buffering.
+
+* Every directed channel is a serializing :class:`~repro.sim.Link`; a
+  packet occupies the channel for ``flits x flit_time``.
+* Every router input port holds a :class:`~repro.sim.TokenPool` of
+  ``buffer_flits`` credits per virtual channel.  A packet acquires
+  ``min(flits, buffer_flits)`` credits downstream *before* it may use
+  the channel, and the credits are returned when the packet's tail has
+  left that router on the next channel -- giving real backpressure.
+* Cut-through pipelining: the packet header is forwarded to the next
+  hop ``flit_time + router_latency`` after the channel starts serving
+  the packet, while the tail is still serializing behind it.
+
+Deadlock freedom: the 1-D mesh routes dimension-order (acyclic channel
+dependencies); the ring assigns dateline-crossing packets to a second
+virtual channel (see :class:`~repro.noc.topology.Ring`); the crossbar
+is a two-hop star with an amply-buffered hub.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
+
+from ..errors import ConfigError
+from ..sim import LatencyStats, Link, Resource, Simulator, TokenPool
+from .packet import DEFAULT_FLIT_BYTES, DEFAULT_HEADER_BYTES, Packet
+from .topology import Topology, XBAR_HUB
+
+__all__ = ["FNoC", "NocBreakdown"]
+
+#: Default router pipeline latency per hop (us); a few ns-scale cycles.
+DEFAULT_ROUTER_LATENCY_US = 0.01
+#: Default packetization/depacketization delay at the network interface.
+DEFAULT_NI_LATENCY_US = 0.05
+#: Default input buffer depth in flits (paper: "small input buffer").
+DEFAULT_BUFFER_FLITS = 16
+
+
+@dataclass
+class NocBreakdown:
+    """Latency attribution for one packet traversal."""
+
+    queue_wait: float      #: time blocked on credits + channel arbitration
+    serialization: float   #: tail serialization on the final channel
+    hop_pipeline: float    #: header forwarding time across hops
+    total: float           #: end-to-end NI-to-NI latency
+    hops: int              #: channels traversed
+
+
+class FNoC:
+    """The flash-controller interconnect.
+
+    ``channel_bandwidth`` is bytes/us per directed channel.  All
+    channels are homogeneous, matching the paper's fNoC.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 channel_bandwidth: float,
+                 flit_bytes: int = DEFAULT_FLIT_BYTES,
+                 header_bytes: int = DEFAULT_HEADER_BYTES,
+                 buffer_flits: int = DEFAULT_BUFFER_FLITS,
+                 router_latency_us: float = DEFAULT_ROUTER_LATENCY_US,
+                 ni_latency_us: float = DEFAULT_NI_LATENCY_US,
+                 bin_width: float = 1000.0,
+                 hol_blocking: Optional[bool] = None):
+        if channel_bandwidth <= 0:
+            raise ConfigError(
+                f"channel bandwidth must be positive: {channel_bandwidth}"
+            )
+        if buffer_flits < 1:
+            raise ConfigError(f"buffer_flits must be >= 1: {buffer_flits}")
+        if flit_bytes < 1:
+            raise ConfigError(f"flit_bytes must be >= 1: {flit_bytes}")
+        self.sim = sim
+        self.topology = topology
+        self.channel_bandwidth = channel_bandwidth
+        self.flit_bytes = flit_bytes
+        self.header_bytes = header_bytes
+        self.buffer_flits = buffer_flits
+        self.router_latency_us = router_latency_us
+        self.ni_latency_us = ni_latency_us
+        # Wormhole head-of-line blocking: a packet that has won a channel
+        # holds it while waiting for downstream credits, so small buffers
+        # cost throughput (paper Fig 13(b)).  Rings instead interleave
+        # virtual channels on each physical channel, which our packet-
+        # granular model represents as non-blocking arbitration -- and
+        # holding the channel across the dateline could deadlock.
+        if hol_blocking is None:
+            hol_blocking = topology.vc_count == 1
+        self.hol_blocking = hol_blocking
+
+        self._channels: Dict[Tuple[int, int], Link] = {}
+        for u, v in topology.channels():
+            self._channels[(u, v)] = Link(
+                sim, channel_bandwidth, name=f"noc{u}->{v}",
+                bin_width=bin_width,
+            )
+        self._guards: Dict[Tuple[int, int], Resource] = {}
+        if self.hol_blocking:
+            for u, v in topology.channels():
+                self._guards[(u, v)] = Resource(sim, 1,
+                                                name=f"guard{u}->{v}")
+        self._ports: Dict[Tuple[int, int, int], TokenPool] = {}
+        for u, v in topology.channels():
+            depth = buffer_flits
+            if v == XBAR_HUB:
+                # The crossbar hub is amply buffered: it never backpressures.
+                depth = buffer_flits * max(2, topology.k)
+            for vc in range(topology.vc_count):
+                self._ports[(u, v, vc)] = TokenPool(
+                    sim, depth, name=f"port{u}->{v}#vc{vc}"
+                )
+
+        self.packet_latency = LatencyStats("fnoc_packet")
+        self.packets_sent = 0
+        self.bytes_sent = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def flit_time(self) -> float:
+        """Serialization time of one flit on a channel (us)."""
+        return self.flit_bytes / self.channel_bandwidth
+
+    def channel(self, u: int, v: int) -> Link:
+        """The directed channel link from *u* to *v*."""
+        try:
+            return self._channels[(u, v)]
+        except KeyError:
+            raise ConfigError(f"no channel {u}->{v} in {self.topology.name}")
+
+    def port(self, u: int, v: int, vc: int) -> TokenPool:
+        """Input-buffer credit pool at *v* for traffic arriving from *u*."""
+        return self._ports[(u, v, vc)]
+
+    # -- transmission ------------------------------------------------------
+
+    def send(self, packet: Packet) -> Generator:
+        """Generator: move *packet* from its source NI to its destination NI.
+
+        Returns a :class:`NocBreakdown`.  ``src == dst`` short-circuits
+        with only the NI latency (no fabric traversal).
+        """
+        t_begin = self.sim.now
+        packet.created_at = t_begin
+        path = self.topology.path(packet.src, packet.dst)
+        # Packetization at the source network interface.
+        if self.ni_latency_us > 0:
+            yield self.sim.timeout(self.ni_latency_us)
+        if len(path) == 1:
+            total = self.sim.now - t_begin
+            self.packet_latency.add(total)
+            self.packets_sent += 1
+            self.bytes_sent += packet.payload_bytes
+            return NocBreakdown(0.0, 0.0, 0.0, total, 0)
+
+        vc = self.topology.vc_of(path)
+        flits = packet.flits(self.flit_bytes, self.header_bytes)
+        wire_bytes = flits * self.flit_bytes
+        header_step = self.flit_time + self.router_latency_us
+
+        queue_wait = 0.0
+        held: Optional[Tuple[TokenPool, int]] = None
+        last_done = None
+        for cur, nxt in zip(path, path[1:]):
+            pool = self.port(cur, nxt, vc)
+            tokens = min(flits, pool.capacity)
+            t_request = self.sim.now
+            guard = self._guards.get((cur, nxt))
+            if guard is not None:
+                # Wormhole: win the channel first, then wait for credits
+                # while holding it (head-of-line blocking).
+                yield guard.request()
+            yield pool.acquire(tokens)
+            start, done = self.channel(cur, nxt).transfer_with_start(
+                wire_bytes, packet.traffic_class
+            )
+            if guard is not None:
+                done.add_callback(lambda _evt, g=guard: g.release())
+            yield start
+            queue_wait += self.sim.now - t_request
+            # Credits held at the *previous* router drain as this channel
+            # serializes the tail out of it.
+            if held is not None:
+                prev_pool, prev_tokens = held
+                done.add_callback(
+                    lambda _evt, p=prev_pool, n=prev_tokens: p.release(n)
+                )
+            if tokens >= flits:
+                # Deep buffer: the whole packet is absorbed at the
+                # downstream router when its tail arrives, freeing the
+                # credits immediately -- hops decouple (virtual
+                # cut-through with full packet buffering).
+                done.add_callback(
+                    lambda _evt, p=pool, n=tokens: p.release(n)
+                )
+                held = None
+            else:
+                # Shallow buffer: credits return only once the tail has
+                # left this router on the *next* channel (wormhole
+                # coupling -- downstream stalls propagate upstream).
+                held = (pool, tokens)
+            last_done = done
+            # Forward the header while the tail is still serializing.
+            yield self.sim.timeout(header_step)
+
+        # Wait for the tail to fully arrive at the destination router,
+        # then eject into the dBUF (credits return immediately).
+        yield last_done
+        if held is not None:
+            held[0].release(held[1])
+
+        total = self.sim.now - t_begin
+        hops = len(path) - 1
+        serialization = flits * self.flit_time
+        self.packet_latency.add(total)
+        self.packets_sent += 1
+        self.bytes_sent += packet.payload_bytes
+        return NocBreakdown(
+            queue_wait=queue_wait,
+            serialization=serialization,
+            hop_pipeline=hops * header_step,
+            total=total,
+            hops=hops,
+        )
+
+    # -- reporting ----------------------------------------------------------
+
+    def mean_channel_utilization(self) -> float:
+        """Average busy fraction across all fabric channels."""
+        if not self._channels:
+            return 0.0
+        total = sum(link.utilization() for link in self._channels.values())
+        return total / len(self._channels)
+
+    def max_channel_utilization(self) -> float:
+        """Busy fraction of the hottest channel (the bottleneck)."""
+        if not self._channels:
+            return 0.0
+        return max(link.utilization() for link in self._channels.values())

@@ -1,0 +1,63 @@
+"""Packets and flit arithmetic for the flash-controller NoC.
+
+A copyback page is "packetized" in the decoupled controller's network
+interface: the page data is appended with the command information and a
+packet header (paper Sec 4.2, step 5).  Packets are segmented into
+fixed-size flits for transmission.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["Packet", "flit_count", "DEFAULT_FLIT_BYTES", "DEFAULT_HEADER_BYTES"]
+
+#: Default flit size (bytes); 256 B flits give a 4 KiB page 17 flits.
+DEFAULT_FLIT_BYTES = 256
+#: Header + command/address overhead appended to the page payload.
+DEFAULT_HEADER_BYTES = 16
+
+_packet_ids = itertools.count()
+
+
+def flit_count(payload_bytes: int, flit_bytes: int = DEFAULT_FLIT_BYTES,
+               header_bytes: int = DEFAULT_HEADER_BYTES) -> int:
+    """Number of flits needed for a payload plus header/command bytes."""
+    if payload_bytes < 0:
+        raise ConfigError(f"negative payload: {payload_bytes}")
+    if flit_bytes < 1:
+        raise ConfigError(f"flit size must be >= 1 byte: {flit_bytes}")
+    total = payload_bytes + header_bytes
+    return max(1, math.ceil(total / flit_bytes))
+
+
+@dataclass
+class Packet:
+    """One fNoC packet: a page (or message) moving between controllers."""
+
+    src: int
+    dst: int
+    payload_bytes: int
+    traffic_class: str = "gc"
+    command: Any = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ConfigError(f"negative payload: {self.payload_bytes}")
+
+    def flits(self, flit_bytes: int = DEFAULT_FLIT_BYTES,
+              header_bytes: int = DEFAULT_HEADER_BYTES) -> int:
+        """Flit count for this packet."""
+        return flit_count(self.payload_bytes, flit_bytes, header_bytes)
+
+    def wire_bytes(self, flit_bytes: int = DEFAULT_FLIT_BYTES,
+                   header_bytes: int = DEFAULT_HEADER_BYTES) -> int:
+        """Bytes actually occupying channels (flit-quantized)."""
+        return self.flits(flit_bytes, header_bytes) * flit_bytes

@@ -1,0 +1,223 @@
+"""fNoC topologies: 1-D mesh, ring, crossbar.
+
+A topology answers three questions for the network fabric:
+
+* which directed channels exist (``channels()``),
+* which sequence of nodes a packet visits (``path(src, dst)``),
+* which virtual channel a packet must use (``vc_of(path)``) -- only the
+  ring needs more than one VC, to break its cyclic channel dependency
+  with a dateline at node 0.
+
+Bisection-bandwidth accounting follows the paper's Fig 13 methodology:
+topologies are compared at equal bisection bandwidth, so each topology
+reports how to translate a bisection budget into per-channel bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["Topology", "Mesh1D", "Mesh2D", "Ring", "Crossbar", "XBAR_HUB"]
+
+#: Synthetic hub node id used by :class:`Crossbar` paths.
+XBAR_HUB = -1
+
+
+class Topology:
+    """Base class: *k* terminal nodes (one per decoupled controller)."""
+
+    #: Number of virtual channels required for deadlock freedom.
+    vc_count = 1
+
+    def __init__(self, k: int):
+        if k < 2:
+            raise ConfigError(f"topology needs >= 2 nodes, got {k}")
+        self.k = k
+
+    @property
+    def name(self) -> str:
+        """Short topology label."""
+        return type(self).__name__.lower()
+
+    def channels(self) -> List[Tuple[int, int]]:
+        """All directed channels ``(u, v)`` in the fabric."""
+        raise NotImplementedError
+
+    def path(self, src: int, dst: int) -> List[int]:
+        """Node sequence from *src* to *dst* inclusive (minimal route)."""
+        raise NotImplementedError
+
+    def vc_of(self, path: Sequence[int]) -> int:
+        """Virtual channel assignment for a routed path."""
+        return 0
+
+    def channel_bandwidth_for_bisection(self, bisection_bw: float) -> float:
+        """Per-channel bandwidth giving the requested bisection bandwidth."""
+        raise NotImplementedError
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Channel traversals between *src* and *dst*."""
+        return len(self.path(src, dst)) - 1
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.k:
+            raise ConfigError(f"node {node} outside [0, {self.k})")
+
+
+class Mesh1D(Topology):
+    """A line of *k* routers; dimension-order routing is just left/right.
+
+    The paper's default fNoC (Table 1: 1D mesh, k=8, n=1, dim-order
+    routing) -- it matches the linear floorplan of the flash controllers.
+    """
+
+    def channels(self) -> List[Tuple[int, int]]:
+        chans = []
+        for node in range(self.k - 1):
+            chans.append((node, node + 1))
+            chans.append((node + 1, node))
+        return chans
+
+    def path(self, src: int, dst: int) -> List[int]:
+        self._check_node(src)
+        self._check_node(dst)
+        step = 1 if dst >= src else -1
+        return list(range(src, dst + step, step)) if src != dst else [src]
+
+    def channel_bandwidth_for_bisection(self, bisection_bw: float) -> float:
+        # Two unidirectional channels cross the mid-line cut.
+        return bisection_bw / 2.0
+
+
+class Mesh2D(Topology):
+    """A 2-D mesh with XY dimension-order routing.
+
+    The paper leaves the optimal topology for larger controller counts
+    open ("it remains to be seen what the optimal topology for the fNoC
+    will be"); this extension provides the natural next candidate.  *k*
+    must be a perfect square; node *n* sits at row ``n // side``,
+    column ``n % side``.  XY routing (X first, then Y) keeps the channel
+    dependency graph acyclic, so one virtual channel suffices.
+    """
+
+    def __init__(self, k: int):
+        super().__init__(k)
+        side = int(round(k ** 0.5))
+        if side * side != k:
+            raise ConfigError(f"Mesh2D needs a square node count, got {k}")
+        self.side = side
+
+    def _coords(self, node: int) -> Tuple[int, int]:
+        return node // self.side, node % self.side
+
+    def _node(self, row: int, col: int) -> int:
+        return row * self.side + col
+
+    def channels(self) -> List[Tuple[int, int]]:
+        chans = []
+        for row in range(self.side):
+            for col in range(self.side):
+                node = self._node(row, col)
+                if col + 1 < self.side:
+                    right = self._node(row, col + 1)
+                    chans.append((node, right))
+                    chans.append((right, node))
+                if row + 1 < self.side:
+                    down = self._node(row + 1, col)
+                    chans.append((node, down))
+                    chans.append((down, node))
+        return chans
+
+    def path(self, src: int, dst: int) -> List[int]:
+        self._check_node(src)
+        self._check_node(dst)
+        row, col = self._coords(src)
+        dst_row, dst_col = self._coords(dst)
+        path = [src]
+        while col != dst_col:                      # X first
+            col += 1 if dst_col > col else -1
+            path.append(self._node(row, col))
+        while row != dst_row:                      # then Y
+            row += 1 if dst_row > row else -1
+            path.append(self._node(row, col))
+        return path
+
+    def channel_bandwidth_for_bisection(self, bisection_bw: float) -> float:
+        # `side` rows each contribute two unidirectional channels
+        # across the vertical mid-line cut.
+        return bisection_bw / (2.0 * self.side)
+
+
+class Ring(Topology):
+    """A bidirectional ring with minimal routing and a dateline VC.
+
+    Packets take the shorter direction (ties go clockwise).  Clockwise
+    packets that cross the ``k-1 -> 0`` dateline switch to VC 1 (and
+    counter-clockwise packets crossing ``0 -> k-1`` likewise), breaking
+    the cyclic buffer dependency that could otherwise deadlock the ring.
+    """
+
+    vc_count = 2
+
+    def channels(self) -> List[Tuple[int, int]]:
+        chans = []
+        for node in range(self.k):
+            nxt = (node + 1) % self.k
+            chans.append((node, nxt))
+            chans.append((nxt, node))
+        return chans
+
+    def path(self, src: int, dst: int) -> List[int]:
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return [src]
+        clockwise = (dst - src) % self.k
+        counter = (src - dst) % self.k
+        step = 1 if clockwise <= counter else -1
+        path = [src]
+        node = src
+        while node != dst:
+            node = (node + step) % self.k
+            path.append(node)
+        return path
+
+    def vc_of(self, path: Sequence[int]) -> int:
+        for cur, nxt in zip(path, path[1:]):
+            if (cur == self.k - 1 and nxt == 0) or (cur == 0 and nxt == self.k - 1):
+                return 1
+        return 0
+
+    def channel_bandwidth_for_bisection(self, bisection_bw: float) -> float:
+        # Four unidirectional channels cross the cut (two per side).
+        return bisection_bw / 4.0
+
+
+class Crossbar(Topology):
+    """An ideal single-stage crossbar.
+
+    Modeled as input links into a hub and output links out of it: a
+    packet serializes once on its input port and once on its output
+    port, with no intermediate contention -- the classic non-blocking
+    switch.  The hub has ample buffering.
+    """
+
+    def channels(self) -> List[Tuple[int, int]]:
+        chans = []
+        for node in range(self.k):
+            chans.append((node, XBAR_HUB))
+            chans.append((XBAR_HUB, node))
+        return chans
+
+    def path(self, src: int, dst: int) -> List[int]:
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return [src]
+        return [src, XBAR_HUB, dst]
+
+    def channel_bandwidth_for_bisection(self, bisection_bw: float) -> float:
+        # k/2 input links cross the logical bisection in each direction.
+        return bisection_bw / (self.k / 2.0)

@@ -1,0 +1,134 @@
+"""Result export: turn experiment dicts and run results into CSV/JSON.
+
+The experiment modules return nested dicts of series; downstream users
+typically want them as flat tables for plotting.  This module provides
+a small, dependency-free exporter:
+
+* :func:`flatten` -- nested dict -> ``{"a.b.c": value}`` rows;
+* :func:`to_csv` / :func:`to_json` -- string renderers;
+* :func:`run_result_row` -- one flat row per
+  :class:`~repro.core.RunResult` for sweep tables;
+* :func:`series_csv` -- (x, y...) columns for timeline/curve data.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["flatten", "to_csv", "to_json", "run_result_row", "series_csv"]
+
+_SCALARS = (int, float, str, bool, type(None))
+
+
+def flatten(data: Mapping, prefix: str = "",
+            separator: str = ".") -> Dict[str, Any]:
+    """Flatten nested mappings into dotted-key scalars.
+
+    Lists of scalars become indexed keys (``key.0``, ``key.1``...);
+    non-scalar leaves (objects, long tables) are skipped.
+    """
+    flat: Dict[str, Any] = {}
+    for key, value in data.items():
+        name = f"{prefix}{separator}{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            flat.update(flatten(value, name, separator))
+        elif isinstance(value, (list, tuple)):
+            if all(isinstance(v, _SCALARS) for v in value):
+                for index, item in enumerate(value):
+                    flat[f"{name}{separator}{index}"] = item
+        elif isinstance(value, _SCALARS):
+            flat[name] = value
+    return flat
+
+
+def to_csv(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render dict rows as CSV with the union of keys as the header."""
+    if not rows:
+        return ""
+    header: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in header:
+                header.append(key)
+    out = io.StringIO()
+    out.write(",".join(header) + "\n")
+    for row in rows:
+        cells = []
+        for key in header:
+            value = row.get(key, "")
+            if isinstance(value, float):
+                if math.isnan(value) or math.isinf(value):
+                    value = ""
+                else:
+                    value = f"{value:.6g}"
+            text = str(value)
+            if "," in text or '"' in text:
+                text = '"' + text.replace('"', '""') + '"'
+            cells.append(text)
+        out.write(",".join(cells) + "\n")
+    return out.getvalue()
+
+
+def to_json(data: Mapping, indent: int = 2) -> str:
+    """JSON-render a result dict, dropping non-serializable leaves."""
+
+    def default(obj):
+        if hasattr(obj, "summary"):
+            return obj.summary()
+        if hasattr(obj, "as_dict"):
+            return obj.as_dict()
+        return str(obj)
+
+    return json.dumps(data, indent=indent, default=default)
+
+
+def run_result_row(result, label: str = "") -> Dict[str, Any]:
+    """One flat row of a :class:`~repro.core.RunResult`'s headline stats."""
+    row: Dict[str, Any] = {"label": label or result.arch}
+    row.update({
+        "arch": result.arch,
+        "duration_us": result.duration_us,
+        "io_bandwidth_MBps": result.io_bandwidth,
+        "io_mean_us": result.io_latency.mean,
+        "io_p50_us": result.io_latency.p50,
+        "io_p99_us": result.io_latency.p99,
+        "requests": result.requests_completed,
+        "gc_pages_moved": result.gc.pages_moved,
+        "gc_blocks_erased": result.gc.blocks_erased,
+        "bus_utilization": result.bus_utilization,
+        "bus_gc_utilization": result.bus_gc_utilization,
+        "dram_utilization": result.dram_utilization,
+        "fnoc_packets": result.fnoc_packets,
+        "copybacks": result.copybacks,
+    })
+    for component, value in result.io_breakdown.as_dict().items():
+        row[f"io_breakdown.{component}"] = value
+    for component, value in result.gc_breakdown.as_dict().items():
+        row[f"gc_breakdown.{component}"] = value
+    return row
+
+
+def series_csv(columns: Mapping[str, Iterable[float]]) -> str:
+    """Column-oriented series -> CSV (for timelines and curves).
+
+    All columns are padded to the longest one with empty cells.
+    """
+    names = list(columns)
+    data = [list(columns[name]) for name in names]
+    length = max((len(col) for col in data), default=0)
+    out = io.StringIO()
+    out.write(",".join(names) + "\n")
+    for index in range(length):
+        cells = []
+        for col in data:
+            if index < len(col):
+                value = col[index]
+                cells.append(f"{value:.6g}" if isinstance(value, float)
+                             else str(value))
+            else:
+                cells.append("")
+        out.write(",".join(cells) + "\n")
+    return out.getvalue()

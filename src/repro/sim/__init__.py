@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate for the dSSD reproduction."""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import Link, Resource, Store, TokenPool, Transfer
+from .stats import Counter, LatencyStats, TimeBins, percentile
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Event",
+    "Interrupt",
+    "LatencyStats",
+    "Link",
+    "percentile",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "TimeBins",
+    "Timeout",
+    "TokenPool",
+    "Transfer",
+]

@@ -1,0 +1,368 @@
+"""Discrete-event simulation kernel.
+
+A minimal, fast, generator-based process model in the spirit of SimPy,
+purpose-built for the dSSD reproduction.  Simulation time is a float in
+**microseconds**.  Processes are Python generators that ``yield`` events;
+a process resumes when the yielded event triggers.
+
+Example::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(5.0)      # wait 5 us
+        return "done"
+
+    proc = sim.process(worker(sim))
+    sim.run()
+    assert sim.now == 5.0 and proc.value == "done"
+
+The kernel supports:
+
+* :class:`Event` -- one-shot triggerable events carrying a value,
+* :class:`Timeout` -- events that fire after a fixed delay,
+* :class:`Process` -- generator-driven processes (joinable, interruptible),
+* :class:`AllOf` / :class:`AnyOf` -- condition events over several events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (double trigger, running a finished sim...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process receives this exception at its current
+    ``yield`` statement and may catch it to implement preemption (for
+    example, preemptive garbage collection yielding to host I/O).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *untriggered*.  Calling :meth:`trigger` (or
+    :meth:`fail`) marks it triggered, records its value, and schedules its
+    callbacks to run at the current simulation time.  Triggering twice is
+    an error.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has fired (successfully or not)."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (not via :meth:`fail`)."""
+        return self._triggered and self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Fire the event successfully, delivering *value* to waiters."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event as a failure; waiters receive *exception*."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run *fn(event)* when the event fires (immediately if it has)."""
+        if self.callbacks is None:
+            # Already dispatched: run at the current time via the queue so
+            # ordering relative to other scheduled work stays consistent.
+            self.sim.schedule(0.0, fn, self)
+        else:
+            self.callbacks.append(fn)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Detach a previously added callback (no-op if absent)."""
+        if self.callbacks is not None and fn in self.callbacks:
+            self.callbacks.remove(fn)
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule_event(self, delay)
+
+
+class Process(Event):
+    """A running simulation process driving a generator.
+
+    The process itself is an :class:`Event` that fires when the generator
+    finishes; its value is the generator's return value.  Other processes
+    may ``yield`` a process to join it.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: start the generator at the current time.
+        sim.schedule(0.0, self._resume, None, None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op.  The event the process
+        was waiting on is detached so that its later trigger does not
+        resume the process twice.
+        """
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None:
+            target.remove_callback(self._on_event)
+            self._waiting_on = None
+        self.sim.schedule(0.0, self._resume, None, Interrupt(cause))
+
+    # -- generator driving ------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            self._resume(None, event.value)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._triggered:
+            return
+        try:
+            if exc is not None:
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.trigger(getattr(stop, "value", None))
+            return
+        except Interrupt:
+            # Interrupt escaped the generator: treat as normal termination.
+            self.trigger(None)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class AllOf(Event):
+    """Fires when every event in *events* has fired.
+
+    The value is the list of the individual event values in input order.
+    An empty list fires immediately.
+    """
+
+    __slots__ = ("_pending", "_events")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.trigger([])
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.trigger([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Fires when the first of *events* fires; value is ``(event, value)``."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf needs at least one event")
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.trigger((event, event.value))
+
+
+class Simulator:
+    """The event loop: a time-ordered queue of callbacks.
+
+    All model components hold a reference to one ``Simulator`` and use
+    :meth:`timeout`, :meth:`event`, and :meth:`process` to build behaviour.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[tuple] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing *delay* microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start *generator* as a process and return its handle."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event firing once all *events* have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event firing once any of *events* has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after *delay* microseconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, fn, args))
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, self._seq, event._dispatch, ())
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulation time reaches *until*.
+
+        Returns the simulation time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            queue = self._queue
+            while queue:
+                time, _seq, fn, args = queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(queue)
+                self._now = time
+                fn(*args)
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute a single queued callback; return False if queue empty."""
+        if not self._queue:
+            return False
+        time, _seq, fn, args = heapq.heappop(self._queue)
+        self._now = time
+        fn(*args)
+        return True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next queued callback, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None

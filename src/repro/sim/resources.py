@@ -1,0 +1,338 @@
+"""Shared-resource primitives built on the DES kernel.
+
+Three resources model every point of contention in the SSD:
+
+* :class:`Resource` -- a counting semaphore with priority queueing.  Used
+  for flash dies/planes (one operation at a time) and ECC engines.
+* :class:`Link` -- a *serializing bandwidth* resource: a transfer occupies
+  the link for ``bytes / bandwidth`` microseconds.  Used for the system
+  bus, the flash bus channels, DRAM ports, and the dedicated dSSD_b bus.
+* :class:`Store` -- a FIFO hand-off queue between producer and consumer
+  processes.  Used for command queues inside flash controllers.
+
+All completion notifications are kernel :class:`~repro.sim.kernel.Event`
+objects, so processes simply ``yield`` them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from .kernel import Event, Simulator
+from .stats import TimeBins
+
+__all__ = ["Resource", "Link", "Store", "Transfer", "TokenPool"]
+
+
+class Resource:
+    """A counting semaphore with priority-ordered FIFO queueing.
+
+    Lower ``priority`` values are served first; ties are FIFO.  A holder
+    must call :meth:`release` exactly once per granted request.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: List[Tuple[int, int, Event]] = []
+        self._seq = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self, priority: int = 0) -> Event:
+        """Ask for a slot; the returned event fires when granted."""
+        grant = self.sim.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.trigger(self)
+        else:
+            self._seq += 1
+            heapq.heappush(self._waiters, (priority, self._seq, grant))
+        return grant
+
+    def release(self) -> None:
+        """Return a slot, waking the highest-priority waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release on idle resource {self.name!r}")
+        if self._waiters:
+            _prio, _seq, grant = heapq.heappop(self._waiters)
+            grant.trigger(self)
+        else:
+            self._in_use -= 1
+
+    def acquire(self, priority: int = 0):
+        """Generator helper: ``yield from resource.acquire()``."""
+        yield self.request(priority)
+
+
+class TokenPool:
+    """A counted semaphore: acquire/release *n* tokens at a time.
+
+    Grants are strictly FIFO -- a large request at the head of the queue
+    blocks smaller later ones -- which models credit-based flow control
+    (router input buffers) without starvation.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._available = capacity
+        self._waiters: Deque[Tuple[int, Event]] = deque()
+
+    @property
+    def available(self) -> int:
+        """Tokens currently free."""
+        return self._available
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending acquire requests."""
+        return len(self._waiters)
+
+    def acquire(self, n: int = 1) -> Event:
+        """Request *n* tokens; the event fires when they are granted."""
+        if n < 1:
+            raise ValueError(f"must acquire >= 1 token, got {n}")
+        if n > self.capacity:
+            raise ValueError(
+                f"request of {n} tokens exceeds capacity {self.capacity}"
+            )
+        grant = self.sim.event()
+        if not self._waiters and self._available >= n:
+            self._available -= n
+            grant.trigger(n)
+        else:
+            self._waiters.append((n, grant))
+        return grant
+
+    def release(self, n: int = 1) -> None:
+        """Return *n* tokens and grant queued requests in FIFO order."""
+        if n < 1:
+            raise ValueError(f"must release >= 1 token, got {n}")
+        self._available += n
+        if self._available > self.capacity:
+            raise RuntimeError(
+                f"token pool {self.name!r} over-released "
+                f"({self._available}/{self.capacity})"
+            )
+        while self._waiters and self._available >= self._waiters[0][0]:
+            count, grant = self._waiters.popleft()
+            self._available -= count
+            grant.trigger(count)
+
+
+class Transfer:
+    """A pending or in-flight transfer on a :class:`Link`."""
+
+    __slots__ = ("nbytes", "traffic_class", "priority", "done", "enqueued_at",
+                 "started_at", "start_event")
+
+    def __init__(self, nbytes: int, traffic_class: str, priority: int,
+                 done: Event, enqueued_at: float,
+                 start_event: Optional[Event] = None):
+        self.nbytes = nbytes
+        self.traffic_class = traffic_class
+        self.priority = priority
+        self.done = done
+        self.enqueued_at = enqueued_at
+        self.started_at: Optional[float] = None
+        self.start_event = start_event
+
+
+class Link:
+    """A serializing, bandwidth-limited data link.
+
+    ``bandwidth`` is in **bytes per microsecond** (1 GB/s == 1000 B/us,
+    using decimal giga to match the paper's GB/s figures).  Transfers are
+    served one at a time; each occupies the link for
+    ``nbytes / bandwidth`` us.  Per-traffic-class busy time and byte
+    counts are accumulated into :class:`~repro.sim.stats.TimeBins` so the
+    experiments can plot utilization and bandwidth timelines (paper
+    Fig 2(c,d), Fig 7(b)).
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float, name: str = "",
+                 bin_width: float = 1000.0):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.name = name
+        self._busy = False
+        self._queue: List[Tuple[int, int, Transfer]] = []
+        self._seq = 0
+        self.busy_bins = TimeBins(bin_width)
+        self.byte_bins: dict = {}
+        self.busy_time: dict = {}
+        self.bytes_moved: dict = {}
+        self.wait_stats: dict = {}
+
+    @property
+    def queue_length(self) -> int:
+        """Number of transfers waiting behind the in-flight one."""
+        return len(self._queue)
+
+    @property
+    def is_busy(self) -> bool:
+        """Whether a transfer is currently occupying the link."""
+        return self._busy
+
+    def occupancy(self, nbytes: int) -> float:
+        """Service time in microseconds for an *nbytes* transfer."""
+        return nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int, traffic_class: str = "io",
+                 priority: int = 0) -> Event:
+        """Queue a transfer; the returned event fires on completion.
+
+        The event value is the queueing delay (time spent waiting for the
+        link before service began), which latency-breakdown experiments
+        use to attribute contention to this link.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {nbytes}")
+        done = self.sim.event()
+        item = Transfer(nbytes, traffic_class, priority, done, self.sim.now)
+        if self._busy:
+            self._seq += 1
+            heapq.heappush(self._queue, (priority, self._seq, item))
+        else:
+            self._start(item)
+        return done
+
+    def transfer_with_start(self, nbytes: int, traffic_class: str = "io",
+                            priority: int = 0) -> Tuple[Event, Event]:
+        """Like :meth:`transfer`, also returning a service-start event.
+
+        Returns ``(start, done)``: *start* fires the moment the link
+        begins serving this transfer (after any queueing), *done* fires
+        at completion.  Cut-through NoC hops use *start* to forward the
+        packet header while the tail is still serializing.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {nbytes}")
+        done = self.sim.event()
+        start = self.sim.event()
+        item = Transfer(nbytes, traffic_class, priority, done, self.sim.now,
+                        start_event=start)
+        if self._busy:
+            self._seq += 1
+            heapq.heappush(self._queue, (priority, self._seq, item))
+        else:
+            self._start(item)
+        return start, done
+
+    def _start(self, item: Transfer) -> None:
+        self._busy = True
+        item.started_at = self.sim.now
+        if item.start_event is not None:
+            item.start_event.trigger(self.sim.now)
+        duration = item.nbytes / self.bandwidth
+        start, end = self.sim.now, self.sim.now + duration
+        self.busy_bins.add_interval(start, end)
+        cls = item.traffic_class
+        self.busy_time[cls] = self.busy_time.get(cls, 0.0) + duration
+        self.bytes_moved[cls] = self.bytes_moved.get(cls, 0) + item.nbytes
+        bins = self.byte_bins.get(cls)
+        if bins is None:
+            bins = self.byte_bins[cls] = TimeBins(self.busy_bins.width)
+        bins.add(start, item.nbytes)
+        self.sim.schedule(duration, self._finish, item)
+
+    def _finish(self, item: Transfer) -> None:
+        self._busy = False
+        wait = (item.started_at or item.enqueued_at) - item.enqueued_at
+        stats = self.wait_stats.setdefault(item.traffic_class, [0, 0.0])
+        stats[0] += 1
+        stats[1] += wait
+        if self._queue:
+            _prio, _seq, nxt = heapq.heappop(self._queue)
+            self._start(nxt)
+        item.done.trigger(wait)
+
+    # -- reporting ----------------------------------------------------------
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time the link was busy over ``[0, horizon]``."""
+        horizon = horizon if horizon is not None else self.sim.now
+        if horizon <= 0:
+            return 0.0
+        busy = sum(self.busy_time.values())
+        return min(1.0, busy / horizon)
+
+    def class_utilization(self, traffic_class: str,
+                          horizon: Optional[float] = None) -> float:
+        """Fraction of time the link was busy with one traffic class."""
+        horizon = horizon if horizon is not None else self.sim.now
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time.get(traffic_class, 0.0) / horizon)
+
+    def mean_wait(self, traffic_class: str) -> float:
+        """Average queueing delay observed by one traffic class."""
+        stats = self.wait_stats.get(traffic_class)
+        if not stats or stats[0] == 0:
+            return 0.0
+        return stats[1] / stats[0]
+
+    def bandwidth_timeline(self, traffic_class: str):
+        """``(times, bytes_per_us)`` series for one traffic class."""
+        bins = self.byte_bins.get(traffic_class)
+        if bins is None:
+            return [], []
+        times, totals = bins.series()
+        return times, [total / bins.width for total in totals]
+
+
+class Store:
+    """An unbounded FIFO queue connecting processes.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the
+    oldest item once one is available.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit *item*, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next available item."""
+        evt = self.sim.event()
+        if self._items:
+            evt.trigger(self._items.popleft())
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def peek_all(self) -> list:
+        """Snapshot of queued items (oldest first) without removal."""
+        return list(self._items)

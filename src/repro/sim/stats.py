@@ -1,0 +1,190 @@
+"""Measurement utilities: latency recorders, time-binned series, meters.
+
+Everything the experiment harness reports -- bandwidth timelines,
+utilization, tail latency -- is collected through these classes so that
+model code stays free of reporting concerns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["LatencyStats", "TimeBins", "Counter", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted sequence.
+
+    ``fraction`` is in ``[0, 1]`` (0.99 for the paper's 99 % tail).
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return sorted_values[low]
+    weight = rank - low
+    return sorted_values[low] + (sorted_values[high] - sorted_values[low]) * weight
+
+
+class LatencyStats:
+    """Accumulates latency samples and reports summary statistics."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._sum = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one latency sample (microseconds)."""
+        self._samples.append(value)
+        self._sum += value
+        self._sorted = None
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Record many samples at once."""
+        self._samples.extend(values)
+        self._sum += sum(values)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
+        return self._sum / len(self._samples) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest sample (0.0 when empty)."""
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        return min(self._samples) if self._samples else 0.0
+
+    def pct(self, fraction: float) -> float:
+        """Percentile of the samples, e.g. ``pct(0.99)`` for p99."""
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return percentile(self._sorted, fraction)
+
+    @property
+    def p50(self) -> float:
+        """Median latency."""
+        return self.pct(0.50)
+
+    @property
+    def p99(self) -> float:
+        """99 % tail latency (the paper's headline tail metric)."""
+        return self.pct(0.99)
+
+    @property
+    def p999(self) -> float:
+        """99.9 % tail latency."""
+        return self.pct(0.999)
+
+    def samples(self) -> List[float]:
+        """Copy of the raw samples."""
+        return list(self._samples)
+
+    def summary(self) -> Dict[str, float]:
+        """Dict of the headline statistics for report tables."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "p999": self.p999,
+            "max": self.max,
+        }
+
+
+class TimeBins:
+    """Fixed-width time bins accumulating amounts (bytes, busy-us, counts).
+
+    Used to reproduce the paper's per-millisecond I/O bandwidth and bus
+    utilization timelines (Fig 2).  ``width`` is the bin width in
+    microseconds (default 1000 us = 1 ms, matching the paper).
+    """
+
+    def __init__(self, width: float = 1000.0):
+        if width <= 0:
+            raise ValueError(f"bin width must be positive, got {width}")
+        self.width = width
+        self._bins: Dict[int, float] = {}
+
+    def add(self, time: float, amount: float) -> None:
+        """Accumulate *amount* into the bin containing *time*."""
+        self._bins[int(time // self.width)] = (
+            self._bins.get(int(time // self.width), 0.0) + amount
+        )
+
+    def add_interval(self, start: float, end: float) -> None:
+        """Spread an interval's duration across the bins it overlaps.
+
+        Used for busy-time accounting: a transfer occupying ``[start,
+        end)`` contributes its overlap length to each bin it crosses.
+        """
+        if end < start:
+            raise ValueError(f"interval end {end} before start {start}")
+        index = int(start // self.width)
+        last = int(end // self.width)
+        cursor = start
+        while index <= last:
+            bin_end = (index + 1) * self.width
+            chunk = min(end, bin_end) - cursor
+            if chunk > 0:
+                self._bins[index] = self._bins.get(index, 0.0) + chunk
+            cursor = bin_end
+            index += 1
+
+    def value_at(self, time: float) -> float:
+        """Accumulated amount in the bin containing *time*."""
+        return self._bins.get(int(time // self.width), 0.0)
+
+    def series(self) -> Tuple[List[float], List[float]]:
+        """``(bin_start_times, amounts)`` with gaps filled with zero."""
+        if not self._bins:
+            return [], []
+        first = min(self._bins)
+        last = max(self._bins)
+        times = [index * self.width for index in range(first, last + 1)]
+        values = [self._bins.get(index, 0.0) for index in range(first, last + 1)]
+        return times, values
+
+    def total(self) -> float:
+        """Sum over all bins."""
+        return sum(self._bins.values())
+
+
+class Counter:
+    """A named bag of monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = {}
+
+    def incr(self, key: str, amount: float = 1.0) -> None:
+        """Increase counter *key* by *amount*."""
+        self._counts[key] = self._counts.get(key, 0.0) + amount
+
+    def get(self, key: str) -> float:
+        """Current value of counter *key* (0.0 if never incremented)."""
+        return self._counts.get(key, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all counters."""
+        return dict(self._counts)

@@ -1,0 +1,30 @@
+"""Dynamic superblock management: SRT/RBT, recycling, endurance, WAS."""
+
+from .endurance import (
+    POLICIES,
+    EnduranceConfig,
+    EnduranceResult,
+    EnduranceSimulator,
+    run_endurance,
+)
+from .live import LiveDynamicSuperblocks
+from .manager import DynamicSuperblockManager
+from .remap import SrtRemapper
+from .tables import RecycleBlockTable, SuperblockRemapTable
+from .was import WasConfig, WasResult, simulate_was
+
+__all__ = [
+    "DynamicSuperblockManager",
+    "EnduranceConfig",
+    "EnduranceResult",
+    "EnduranceSimulator",
+    "LiveDynamicSuperblocks",
+    "POLICIES",
+    "RecycleBlockTable",
+    "run_endurance",
+    "simulate_was",
+    "SrtRemapper",
+    "SuperblockRemapTable",
+    "WasConfig",
+    "WasResult",
+]

@@ -1,0 +1,79 @@
+"""SRT address-remap layer for the DES (Fig 15 performance experiments).
+
+Dynamic superblocks remap dead sub-blocks onto recycled blocks *within
+the same channel*.  The remapped block generally sits on a different
+way/die/plane than the original, so accesses that used to spread across
+planes can collide -- the performance cost the paper sweeps against SRT
+size in Fig 15(a).
+
+:class:`SrtRemapper` models a populated SRT as a random *pairwise swap*
+of block positions within each channel.  Swaps keep the remap bijective
+(no two logical blocks share a physical block), so the FTL's allocation
+and NAND programming discipline remain valid with no reserved blocks.
+The remapper plugs into the datapath's ``remapper`` hook and is applied
+to every flash access.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+from ..flash import FlashGeometry, PhysAddr
+
+__all__ = ["SrtRemapper"]
+
+#: Block position within a channel: (way, die, plane, block).
+_BlockPos = Tuple[int, int, int, int]
+
+
+class SrtRemapper:
+    """Per-channel random block swaps emulating *n_entries* SRT remaps."""
+
+    def __init__(self, geometry: FlashGeometry, n_entries: int,
+                 seed: int = 1):
+        if n_entries < 0:
+            raise ConfigError(f"negative SRT entries: {n_entries}")
+        self.geometry = geometry
+        self.n_entries = n_entries
+        self._map: Dict[Tuple[int, _BlockPos], _BlockPos] = {}
+        rng = random.Random(seed)
+        positions_per_channel = (
+            geometry.ways * geometry.dies * geometry.planes
+            * geometry.blocks_per_plane
+        )
+        per_channel = min(n_entries, positions_per_channel // 2)
+        for channel in range(geometry.channels):
+            chosen = rng.sample(range(positions_per_channel),
+                                2 * per_channel)
+            for a_index, b_index in zip(chosen[::2], chosen[1::2]):
+                a = self._pos_of(a_index)
+                b = self._pos_of(b_index)
+                self._map[(channel, a)] = b
+                self._map[(channel, b)] = a
+        self.lookups = 0
+        self.hits = 0
+
+    def _pos_of(self, index: int) -> _BlockPos:
+        geometry = self.geometry
+        index, block = divmod(index, geometry.blocks_per_plane)
+        index, plane = divmod(index, geometry.planes)
+        way, die = divmod(index, geometry.dies)
+        return (way, die, plane, block)
+
+    @property
+    def active_entries(self) -> int:
+        """Number of remapped block positions (2 per swap, per channel)."""
+        return len(self._map)
+
+    def __call__(self, addr: PhysAddr) -> PhysAddr:
+        """Resolve *addr* through the SRT (identity when unmapped)."""
+        self.lookups += 1
+        key = (addr.channel, (addr.way, addr.die, addr.plane, addr.block))
+        target = self._map.get(key)
+        if target is None:
+            return addr
+        self.hits += 1
+        way, die, plane, block = target
+        return PhysAddr(addr.channel, way, die, plane, block, addr.page)

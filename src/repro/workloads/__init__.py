@@ -1,0 +1,26 @@
+"""Workload generators: synthetic patterns and MSR-shaped traces."""
+
+from .msr import (
+    MSR_PROFILES,
+    READ_INTENSIVE,
+    WRITE_INTENSIVE,
+    TraceProfile,
+    make_msr_workload,
+    synthesize_trace,
+)
+from .synthetic import PATTERNS, SyntheticWorkload
+from .traces import TraceRecord, TraceWorkload, parse_csv_trace
+
+__all__ = [
+    "make_msr_workload",
+    "MSR_PROFILES",
+    "parse_csv_trace",
+    "PATTERNS",
+    "READ_INTENSIVE",
+    "SyntheticWorkload",
+    "synthesize_trace",
+    "TraceProfile",
+    "TraceRecord",
+    "TraceWorkload",
+    "WRITE_INTENSIVE",
+]

@@ -1,0 +1,106 @@
+"""Synthetic workload generators (paper Sec 6.1 synthetic inputs).
+
+A workload is an object the run harness drives in closed loop: after
+``bind()`` it produces one :class:`~repro.ftl.IoRequest` per
+``next_request()`` call until exhausted (or forever).
+
+Patterns:
+
+* ``seq_write`` / ``seq_read``   -- ascending LPNs, wrapping;
+* ``rand_write`` / ``rand_read`` -- uniform random LPNs;
+* ``mixed``                      -- random, read with ``read_fraction``.
+
+``io_size`` bytes are converted to whole pages at bind time; 4 KB
+models the paper's "low bandwidth" input (one plane utilized) and
+32-128 KB the "high bandwidth" multi-plane input.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import ConfigError
+from ..ftl import READ, WRITE, IoRequest
+
+__all__ = ["SyntheticWorkload", "PATTERNS"]
+
+PATTERNS = ("seq_write", "seq_read", "rand_write", "rand_read", "mixed")
+
+
+class SyntheticWorkload:
+    """Closed-loop synthetic request stream."""
+
+    def __init__(self, pattern: str = "seq_write", io_size: int = 4096,
+                 read_fraction: float = 0.5, dram_hit_fraction: float = 0.0,
+                 working_set_fraction: float = 1.0,
+                 limit: Optional[int] = None):
+        if pattern not in PATTERNS:
+            raise ConfigError(f"unknown pattern {pattern!r}")
+        if io_size < 1:
+            raise ConfigError(f"io_size must be >= 1 byte: {io_size}")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ConfigError(f"read_fraction out of [0,1]: {read_fraction}")
+        if not 0.0 <= dram_hit_fraction <= 1.0:
+            raise ConfigError(
+                f"dram_hit_fraction out of [0,1]: {dram_hit_fraction}"
+            )
+        if not 0.0 < working_set_fraction <= 1.0:
+            raise ConfigError(
+                f"working_set_fraction out of (0,1]: {working_set_fraction}"
+            )
+        self.pattern = pattern
+        self.io_size = io_size
+        self.read_fraction = read_fraction
+        self.dram_hit_fraction = dram_hit_fraction
+        self.working_set_fraction = working_set_fraction
+        self.limit = limit
+        self._rng: Optional[random.Random] = None
+        self._space = 0
+        self._pages_per_io = 1
+        self._cursor = 0
+        self._issued = 0
+
+    def bind(self, lpn_space: int, page_size: int, seed: int) -> None:
+        """Attach to a device: learn its LPN space and page size."""
+        if lpn_space < 1:
+            raise ConfigError(f"lpn_space must be >= 1: {lpn_space}")
+        self._rng = random.Random(seed ^ 0x5EED)
+        self._pages_per_io = max(1, self.io_size // page_size)
+        self._space = max(
+            self._pages_per_io,
+            int(lpn_space * self.working_set_fraction),
+        )
+        self._cursor = 0
+        self._issued = 0
+
+    def next_request(self) -> Optional[IoRequest]:
+        """The next request, or None once the limit is reached."""
+        if self._rng is None:
+            raise ConfigError("workload not bound; call bind() first")
+        if self.limit is not None and self._issued >= self.limit:
+            return None
+        self._issued += 1
+        op = self._pick_op()
+        lpn = self._pick_lpn()
+        dram_hit = (self.dram_hit_fraction > 0.0
+                    and self._rng.random() < self.dram_hit_fraction)
+        return IoRequest(op=op, lpn=lpn, n_pages=self._pages_per_io,
+                         dram_hit=dram_hit)
+
+    def _pick_op(self) -> str:
+        if self.pattern in ("seq_write", "rand_write"):
+            return WRITE
+        if self.pattern in ("seq_read", "rand_read"):
+            return READ
+        return READ if self._rng.random() < self.read_fraction else WRITE
+
+    def _pick_lpn(self) -> int:
+        span = self._space - self._pages_per_io + 1
+        if self.pattern in ("seq_write", "seq_read"):
+            lpn = self._cursor
+            self._cursor += self._pages_per_io
+            if self._cursor + self._pages_per_io > self._space:
+                self._cursor = 0
+            return lpn
+        return self._rng.randrange(span)

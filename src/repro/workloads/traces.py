@@ -1,0 +1,126 @@
+"""Trace-format workloads.
+
+:class:`TraceRecord` is one logged I/O; :class:`TraceWorkload` replays a
+record list in closed loop (arrival times, if present, are ignored --
+the paper drives the device at QD 64).  A tiny CSV parser reads the
+standard ``timestamp,op,offset_bytes,size_bytes`` format so real traces
+can be dropped in where available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import ConfigError
+from ..ftl import READ, WRITE, IoRequest
+
+__all__ = ["TraceRecord", "TraceWorkload", "parse_csv_trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry, page-granular."""
+
+    op: str
+    lpn: int
+    n_pages: int
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in (READ, WRITE):
+            raise ConfigError(f"bad trace op {self.op!r}")
+        if self.lpn < 0 or self.n_pages < 1:
+            raise ConfigError(
+                f"bad trace extent lpn={self.lpn} n={self.n_pages}"
+            )
+
+
+def parse_csv_trace(lines: Iterable[str], page_size: int) -> List[TraceRecord]:
+    """Parse ``timestamp,op,offset_bytes,size_bytes`` CSV lines.
+
+    ``op`` accepts ``R``/``W`` (any case) or ``read``/``write``.  Blank
+    lines and ``#`` comments are skipped.  Offsets/sizes are converted
+    to page-granular extents (rounded outward).
+    """
+    records = []
+    for line_no, raw in enumerate(lines, 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split(",")
+        if len(fields) < 4:
+            raise ConfigError(f"trace line {line_no}: expected 4 fields")
+        timestamp = float(fields[0])
+        op_raw = fields[1].strip().lower()
+        if op_raw in ("r", "read"):
+            op = READ
+        elif op_raw in ("w", "write"):
+            op = WRITE
+        else:
+            raise ConfigError(f"trace line {line_no}: bad op {fields[1]!r}")
+        offset = int(fields[2])
+        size = int(fields[3])
+        if size < 1:
+            raise ConfigError(f"trace line {line_no}: size must be >= 1")
+        first_page = offset // page_size
+        last_page = (offset + size - 1) // page_size
+        records.append(TraceRecord(op=op, lpn=first_page,
+                                   n_pages=last_page - first_page + 1,
+                                   timestamp=timestamp))
+    return records
+
+
+class TraceWorkload:
+    """Closed-loop replay of a record list, LPNs wrapped into the device."""
+
+    def __init__(self, records: Sequence[TraceRecord], name: str = "trace",
+                 repeat: bool = False,
+                 dram_hit_fraction: float = 0.0):
+        if not records:
+            raise ConfigError("empty trace")
+        if not 0.0 <= dram_hit_fraction <= 1.0:
+            raise ConfigError(
+                f"dram_hit_fraction out of [0,1]: {dram_hit_fraction}"
+            )
+        self.records = list(records)
+        self.name = name
+        self.repeat = repeat
+        self.dram_hit_fraction = dram_hit_fraction
+        self._index = 0
+        self._space = 0
+        self._hit_counter = 0.0
+
+    def bind(self, lpn_space: int, page_size: int, seed: int) -> None:
+        """Attach to a device; LPNs are wrapped modulo its space."""
+        if lpn_space < 1:
+            raise ConfigError(f"lpn_space must be >= 1: {lpn_space}")
+        self._space = lpn_space
+        self._index = 0
+        self._hit_counter = 0.0
+
+    def next_request(self) -> Optional[IoRequest]:
+        """Next record as a request, or None when the trace ends."""
+        if self._space < 1:
+            raise ConfigError("workload not bound; call bind() first")
+        if self._index >= len(self.records):
+            if not self.repeat:
+                return None
+            self._index = 0
+        record = self.records[self._index]
+        self._index += 1
+        n_pages = min(record.n_pages, self._space)
+        lpn = record.lpn % max(1, self._space - n_pages + 1)
+        # Deterministic striding keeps the hit ratio exact.
+        self._hit_counter += self.dram_hit_fraction
+        dram_hit = self._hit_counter >= 1.0
+        if dram_hit:
+            self._hit_counter -= 1.0
+        return IoRequest(op=record.op, lpn=lpn, n_pages=n_pages,
+                         dram_hit=dram_hit)
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of records that are reads."""
+        reads = sum(1 for r in self.records if r.op == READ)
+        return reads / len(self.records)

@@ -1,0 +1,54 @@
+"""Tests for the CLI and the experiment-harness plumbing."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import format_table, normalized
+
+
+def test_experiments_registry_covers_every_figure():
+    expected = {"fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                "fig13", "fig14", "fig15", "fig16", "table3", "ablations"}
+    assert set(EXPERIMENTS) == expected
+
+
+def test_every_experiment_module_has_run():
+    for name, module in EXPERIMENTS.items():
+        assert callable(module.run), name
+        assert module.__doc__, name
+
+
+def test_cli_runs_table3(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "dssd" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "long_header"], [[1, 2.5], ["xx", 0.001]],
+                         title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "long_header" in lines[1]
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) <= 2  # header/body aligned
+
+
+def test_format_table_float_rendering():
+    table = format_table(["v"], [[1234.5678], [0.00042], [0.0], [1.5]])
+    assert "1.23e+03" in table or "1230" in table
+    assert "0.00042" in table
+    assert "1.5" in table
+
+
+def test_normalized_helper():
+    assert normalized([2.0, 4.0, 6.0]) == [1.0, 2.0, 3.0]
+    assert normalized([2.0, 4.0], base=4.0) == [0.5, 1.0]
+    assert normalized([0.0, 1.0]) == [0.0, 0.0]

@@ -1,0 +1,223 @@
+"""Unit tests for the flash die/plane model and programming discipline."""
+
+import pytest
+
+from repro.errors import AddressError, FlashError
+from repro.flash import (
+    FlashBackend,
+    FlashGeometry,
+    FlashTiming,
+    PhysAddr,
+    TLC_TIMING,
+    ULL_TIMING,
+)
+from repro.sim import Simulator
+
+GEOM = FlashGeometry(channels=2, ways=2, dies=1, planes=2,
+                     blocks_per_plane=4, pages_per_block=8)
+
+
+def make_backend(sim, **kwargs):
+    return FlashBackend(sim, GEOM, ULL_TIMING, **kwargs)
+
+
+def run_op(backend, generator):
+    """Drive one backend operation to completion; return its breakdown."""
+    proc = backend.sim.process(generator)
+    backend.sim.run()
+    return proc.value
+
+
+def test_program_then_read_timing():
+    sim = Simulator()
+    backend = make_backend(sim)
+    addr = PhysAddr(0, 0, 0, 0, 0, 0)
+    breakdown = run_op(backend, backend.program(addr))
+    assert breakdown.array_time == pytest.approx(50.0)
+    assert sim.now == pytest.approx(50.0)
+    breakdown = run_op(backend, backend.read(addr))
+    assert breakdown.array_time == pytest.approx(5.0)
+    assert sim.now == pytest.approx(55.0)
+
+
+def test_read_unwritten_page_rejected():
+    sim = Simulator()
+    backend = make_backend(sim)
+    with pytest.raises(FlashError):
+        run_op(backend, backend.read(PhysAddr(0, 0, 0, 0, 0, 0)))
+
+
+def test_out_of_order_program_allowed_but_tracked():
+    """Out-of-order arrival is tolerated (the FTL allocates in order);
+    each distinct page is programmable exactly once."""
+    sim = Simulator()
+    backend = make_backend(sim)
+    run_op(backend, backend.program(PhysAddr(0, 0, 0, 0, 0, 2)))
+    run_op(backend, backend.program(PhysAddr(0, 0, 0, 0, 0, 0)))
+    state = backend.block_state(PhysAddr(0, 0, 0, 0, 0, 0))
+    assert state.write_ptr == 2
+    assert state.programmed == {0, 2}
+
+
+def test_reprogram_without_erase_rejected():
+    sim = Simulator()
+    backend = make_backend(sim)
+    addr = PhysAddr(0, 0, 0, 0, 0, 0)
+    run_op(backend, backend.program(addr))
+    with pytest.raises(FlashError):
+        run_op(backend, backend.program(addr))
+
+
+def test_sequential_program_allowed():
+    sim = Simulator()
+    backend = make_backend(sim)
+    for page in range(GEOM.pages_per_block):
+        run_op(backend, backend.program(PhysAddr(0, 0, 0, 0, 1, page)))
+    state = backend.block_state(PhysAddr(0, 0, 0, 0, 1, 0))
+    assert state.write_ptr == GEOM.pages_per_block
+
+
+def test_erase_resets_write_pointer_and_counts():
+    sim = Simulator()
+    backend = make_backend(sim)
+    addr = PhysAddr(0, 0, 0, 0, 0, 0)
+    run_op(backend, backend.program(addr))
+    run_op(backend, backend.erase(addr))
+    assert backend.erase_count(addr) == 1
+    state = backend.block_state(addr)
+    assert state.write_ptr == 0
+    # Reprogramming page 0 is legal again after erase.
+    run_op(backend, backend.program(addr))
+
+
+def test_discipline_can_be_disabled():
+    sim = Simulator()
+    backend = make_backend(sim, enforce_discipline=False)
+    run_op(backend, backend.read(PhysAddr(0, 0, 0, 0, 0, 7)))
+
+
+def test_plane_contention_serializes():
+    sim = Simulator()
+    backend = make_backend(sim)
+    addr0 = PhysAddr(0, 0, 0, 0, 0, 0)
+    addr1 = PhysAddr(0, 0, 0, 0, 0, 1)
+    done = []
+
+    def writer(sim, addr):
+        breakdown = yield from backend.program(addr)
+        done.append((sim.now, breakdown.chip_wait))
+
+    sim.process(writer(sim, addr0))
+    sim.process(writer(sim, addr1))
+    sim.run()
+    assert done[0] == (pytest.approx(50.0), pytest.approx(0.0))
+    assert done[1] == (pytest.approx(100.0), pytest.approx(50.0))
+
+
+def test_different_planes_run_in_parallel():
+    sim = Simulator()
+    backend = make_backend(sim)
+    done = []
+
+    def writer(sim, addr):
+        yield from backend.program(addr)
+        done.append(sim.now)
+
+    sim.process(writer(sim, PhysAddr(0, 0, 0, 0, 0, 0)))
+    sim.process(writer(sim, PhysAddr(0, 0, 0, 1, 0, 0)))
+    sim.run()
+    assert done == [pytest.approx(50.0), pytest.approx(50.0)]
+
+
+def test_multiplane_program_occupies_all_planes_once():
+    sim = Simulator()
+    backend = make_backend(sim)
+    addrs = [PhysAddr(0, 0, 0, 0, 0, 0), PhysAddr(0, 0, 0, 1, 0, 0)]
+    breakdown = run_op(backend, backend.multiplane(addrs, "program"))
+    assert breakdown.array_time == pytest.approx(50.0)
+    assert sim.now == pytest.approx(50.0)
+    for addr in addrs:
+        assert backend.block_state(addr).write_ptr == 1
+
+
+def test_multiplane_rejects_cross_die():
+    sim = Simulator()
+    backend = make_backend(sim)
+    addrs = [PhysAddr(0, 0, 0, 0, 0, 0), PhysAddr(1, 0, 0, 1, 0, 0)]
+    with pytest.raises(AddressError):
+        run_op(backend, backend.multiplane(addrs, "program"))
+
+
+def test_multiplane_rejects_duplicate_plane():
+    sim = Simulator()
+    backend = make_backend(sim)
+    addrs = [PhysAddr(0, 0, 0, 0, 0, 0), PhysAddr(0, 0, 0, 0, 1, 0)]
+    with pytest.raises(AddressError):
+        run_op(backend, backend.multiplane(addrs, "program"))
+
+
+def test_multiplane_rejects_empty_and_bad_op():
+    sim = Simulator()
+    backend = make_backend(sim)
+    with pytest.raises(AddressError):
+        run_op(backend, backend.multiplane([], "program"))
+    with pytest.raises(FlashError):
+        run_op(backend, backend.multiplane(
+            [PhysAddr(0, 0, 0, 0, 0, 0)], "refresh"))
+
+
+def test_multiplane_erase_resets_blocks():
+    sim = Simulator()
+    backend = make_backend(sim)
+    addrs = [PhysAddr(0, 0, 0, 0, 2, 0), PhysAddr(0, 0, 0, 1, 2, 0)]
+    run_op(backend, backend.multiplane(addrs, "program"))
+    run_op(backend, backend.multiplane(addrs, "erase"))
+    for addr in addrs:
+        assert backend.erase_count(addr) == 1
+        assert backend.block_state(addr).write_ptr == 0
+
+
+def test_tlc_timing_sampling_within_range():
+    sim = Simulator()
+    backend = FlashBackend(sim, GEOM, TLC_TIMING, deterministic_timing=False,
+                           seed=7)
+    addr = PhysAddr(0, 0, 0, 0, 0, 0)
+    breakdown = run_op(backend, backend.program(addr))
+    low, high = TLC_TIMING.program_us
+    assert low <= breakdown.array_time <= high
+
+
+def test_plane_utilization_accounting():
+    sim = Simulator()
+    backend = make_backend(sim)
+    addr = PhysAddr(0, 0, 0, 0, 0, 0)
+    run_op(backend, backend.program(addr))
+
+    def idle(sim):
+        yield sim.timeout(50.0)
+
+    sim.process(idle(sim))
+    sim.run()
+    plane = backend.plane_of(addr)
+    assert plane.utilization() == pytest.approx(0.5)
+    assert backend.mean_plane_utilization() > 0.0
+
+
+def test_timing_presets_match_paper():
+    assert ULL_TIMING.read_mid == 5.0
+    assert ULL_TIMING.program_mid == 50.0
+    assert ULL_TIMING.erase_us == 1000.0
+    assert ULL_TIMING.page_size == 4096
+    assert TLC_TIMING.read_us == (60.0, 95.0)
+    assert TLC_TIMING.program_us == (200.0, 500.0)
+    assert TLC_TIMING.erase_us == 2000.0
+    assert TLC_TIMING.page_size == 16384
+
+
+def test_invalid_timing_rejected():
+    with pytest.raises(Exception):
+        FlashTiming("bad", read_us=(0.0, 5.0), program_us=(1.0, 2.0),
+                    erase_us=10.0, page_size=4096)
+    with pytest.raises(Exception):
+        FlashTiming("bad", read_us=(5.0, 5.0), program_us=(1.0, 2.0),
+                    erase_us=-1.0, page_size=4096)

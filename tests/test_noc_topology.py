@@ -1,0 +1,131 @@
+"""Unit and property tests for fNoC topologies and routing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.noc import Crossbar, Mesh1D, Ring, XBAR_HUB
+
+
+# ---------------------------------------------------------------- Mesh1D
+
+
+def test_mesh_channels_are_bidirectional_line():
+    mesh = Mesh1D(4)
+    chans = set(mesh.channels())
+    assert chans == {(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)}
+
+
+def test_mesh_path_left_and_right():
+    mesh = Mesh1D(8)
+    assert mesh.path(2, 5) == [2, 3, 4, 5]
+    assert mesh.path(5, 2) == [5, 4, 3, 2]
+    assert mesh.path(3, 3) == [3]
+    assert mesh.hop_count(0, 7) == 7
+
+
+def test_mesh_vc_always_zero():
+    mesh = Mesh1D(8)
+    assert mesh.vc_of(mesh.path(0, 7)) == 0
+    assert mesh.vc_count == 1
+
+
+def test_mesh_bisection_bandwidth():
+    mesh = Mesh1D(8)
+    assert mesh.channel_bandwidth_for_bisection(2000.0) == pytest.approx(1000.0)
+
+
+@given(st.integers(0, 7), st.integers(0, 7))
+def test_mesh_path_valid_and_minimal(src, dst):
+    mesh = Mesh1D(8)
+    path = mesh.path(src, dst)
+    assert path[0] == src and path[-1] == dst
+    assert len(path) == abs(dst - src) + 1
+    for cur, nxt in zip(path, path[1:]):
+        assert abs(nxt - cur) == 1
+
+
+# ---------------------------------------------------------------- Ring
+
+
+def test_ring_channels_wrap():
+    ring = Ring(4)
+    chans = set(ring.channels())
+    assert (3, 0) in chans and (0, 3) in chans
+    assert len(chans) == 8
+
+
+def test_ring_takes_shorter_direction():
+    ring = Ring(8)
+    assert ring.path(0, 2) == [0, 1, 2]
+    assert ring.path(0, 6) == [0, 7, 6]
+    assert ring.hop_count(0, 4) == 4  # tie -> clockwise
+
+
+def test_ring_dateline_vc():
+    ring = Ring(8)
+    assert ring.vc_of(ring.path(1, 3)) == 0
+    assert ring.vc_of(ring.path(6, 1)) == 1    # wraps 7 -> 0
+    assert ring.vc_of(ring.path(1, 6)) == 1    # wraps 0 -> 7
+    assert ring.vc_count == 2
+
+
+def test_ring_bisection_bandwidth():
+    ring = Ring(8)
+    assert ring.channel_bandwidth_for_bisection(2000.0) == pytest.approx(500.0)
+
+
+@given(st.integers(0, 7), st.integers(0, 7))
+def test_ring_path_valid_and_minimal(src, dst):
+    ring = Ring(8)
+    path = ring.path(src, dst)
+    assert path[0] == src and path[-1] == dst
+    clockwise = (dst - src) % 8
+    assert len(path) - 1 == min(clockwise, 8 - clockwise)
+    for cur, nxt in zip(path, path[1:]):
+        assert (nxt - cur) % 8 in (1, 7)
+
+
+# ---------------------------------------------------------------- Crossbar
+
+
+def test_crossbar_paths_via_hub():
+    xbar = Crossbar(8)
+    assert xbar.path(1, 5) == [1, XBAR_HUB, 5]
+    assert xbar.path(2, 2) == [2]
+    assert xbar.hop_count(0, 7) == 2
+
+
+def test_crossbar_channels_star():
+    xbar = Crossbar(4)
+    chans = set(xbar.channels())
+    assert (2, XBAR_HUB) in chans and (XBAR_HUB, 2) in chans
+    assert len(chans) == 8
+
+
+def test_crossbar_bisection_bandwidth():
+    xbar = Crossbar(8)
+    assert xbar.channel_bandwidth_for_bisection(2000.0) == pytest.approx(500.0)
+
+
+# ---------------------------------------------------------------- validation
+
+
+def test_topology_rejects_bad_k():
+    with pytest.raises(ConfigError):
+        Mesh1D(1)
+
+
+def test_path_rejects_out_of_range_nodes():
+    mesh = Mesh1D(4)
+    with pytest.raises(ConfigError):
+        mesh.path(0, 4)
+    with pytest.raises(ConfigError):
+        mesh.path(-1, 2)
+
+
+def test_topology_names():
+    assert Mesh1D(4).name == "mesh1d"
+    assert Ring(4).name == "ring"
+    assert Crossbar(4).name == "crossbar"

@@ -1,0 +1,61 @@
+"""Tests for the wear-coupled read-retry model."""
+
+import pytest
+
+from repro.core import ArchPreset, build_ssd, sim_geometry
+from repro.flash import WearModel
+from repro.workloads import SyntheticWorkload
+
+GEOM = sim_geometry(channels=2, ways=2, planes=2, blocks_per_plane=8,
+                    pages_per_block=8)
+
+
+def test_wear_model_retry_steps():
+    model = WearModel(mean=100.0, sigma=0.0)
+    assert model.read_retries(0, 0) == 0
+    assert model.read_retries(79, 0) == 0
+    assert model.read_retries(80, 0) == 1
+    assert model.read_retries(94, 0) == 1
+    assert model.read_retries(95, 0) == 2
+    assert model.read_retries(200, 0) == 2
+
+
+def test_fresh_device_reads_without_retries():
+    ssd = build_ssd(ArchPreset.BASELINE, geometry=GEOM, read_retry=True)
+    workload = SyntheticWorkload(pattern="rand_read", io_size=4096)
+    ssd.run(workload, duration_us=10_000, trigger_gc=False)
+    assert ssd.datapath.read_retries_performed == 0
+
+
+def test_worn_blocks_pay_retries():
+    ssd = build_ssd(ArchPreset.BASELINE, geometry=GEOM, read_retry=True)
+    ssd.prefill()
+    # Force every block to look end-of-life.
+    for block_index in range(GEOM.blocks_total):
+        addr = GEOM.block_addr_of(block_index)
+        ssd.backend.block_state(addr).erase_count = 10_000
+    workload = SyntheticWorkload(pattern="rand_read", io_size=4096)
+    result = ssd.run(workload, duration_us=10_000, trigger_gc=False)
+    assert result.requests_completed > 0
+    assert ssd.datapath.read_retries_performed > 0
+
+
+def test_retries_inflate_read_latency():
+    def mean_latency(wear):
+        ssd = build_ssd(ArchPreset.BASELINE, geometry=GEOM,
+                        read_retry=True)
+        ssd.prefill()
+        if wear:
+            for block_index in range(GEOM.blocks_total):
+                addr = GEOM.block_addr_of(block_index)
+                ssd.backend.block_state(addr).erase_count = 10_000
+        workload = SyntheticWorkload(pattern="rand_read", io_size=4096)
+        result = ssd.run(workload, duration_us=10_000, trigger_gc=False)
+        return result.io_latency.mean
+
+    assert mean_latency(wear=True) > mean_latency(wear=False)
+
+
+def test_read_retry_disabled_by_default():
+    ssd = build_ssd(ArchPreset.BASELINE, geometry=GEOM)
+    assert ssd.datapath.wear_model is None

@@ -1,0 +1,68 @@
+"""Tests for the result-export utilities."""
+
+import json
+
+from repro.core import ArchPreset, build_ssd, sim_geometry
+from repro.report import flatten, run_result_row, series_csv, to_csv, to_json
+from repro.workloads import SyntheticWorkload
+
+
+def test_flatten_nested():
+    data = {"a": {"b": 1, "c": {"d": 2.5}}, "e": "x", "skip": object()}
+    flat = flatten(data)
+    assert flat == {"a.b": 1, "a.c.d": 2.5, "e": "x"}
+
+
+def test_flatten_scalar_lists_indexed():
+    flat = flatten({"series": [1, 2, 3], "mixed": [1, object()]})
+    assert flat == {"series.0": 1, "series.1": 2, "series.2": 3}
+
+
+def test_to_csv_union_header_and_quoting():
+    rows = [{"a": 1, "b": "x,y"}, {"a": 2, "c": 3.14159}]
+    csv_text = to_csv(rows)
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "a,b,c"
+    assert '"x,y"' in lines[1]
+    assert lines[2].startswith("2,,3.14159")
+    assert to_csv([]) == ""
+
+
+def test_to_csv_drops_nan_inf():
+    csv_text = to_csv([{"v": float("nan"), "w": 1},
+                       {"v": float("inf"), "w": 2}])
+    lines = csv_text.splitlines()
+    assert lines[0] == "v,w"
+    assert lines[1] == ",1"   # nan dropped to an empty cell
+    assert lines[2] == ",2"   # inf likewise
+
+
+def test_to_json_handles_objects():
+    text = to_json({"x": 1, "obj": object()})
+    data = json.loads(text)
+    assert data["x"] == 1
+    assert isinstance(data["obj"], str)
+
+
+def test_series_csv_pads_columns():
+    text = series_csv({"t": [0.0, 1.0, 2.0], "y": [5.0]})
+    lines = text.strip().splitlines()
+    assert lines[0] == "t,y"
+    assert lines[1] == "0,5"
+    assert lines[3] == "2,"
+
+
+def test_run_result_row_end_to_end():
+    geometry = sim_geometry(channels=2, ways=2, planes=2,
+                            blocks_per_plane=8)
+    ssd = build_ssd(ArchPreset.DSSD_F, geometry=geometry, queue_depth=8)
+    workload = SyntheticWorkload(pattern="seq_write", io_size=4096)
+    result = ssd.run(workload, duration_us=10_000)
+    row = run_result_row(result, label="demo")
+    assert row["label"] == "demo"
+    assert row["arch"] == "dssd_f"
+    assert row["io_bandwidth_MBps"] > 0
+    assert "io_breakdown.system_bus" in row
+    # The whole row must CSV-render cleanly.
+    csv_text = to_csv([row])
+    assert csv_text.count("\n") == 2

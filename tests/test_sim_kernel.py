@@ -1,0 +1,302 @@
+"""Unit tests for the DES kernel (events, processes, conditions)."""
+
+import pytest
+
+from repro.sim import Interrupt, SimulationError, Simulator
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        yield sim.timeout(2.5)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert sim.now == pytest.approx(7.5)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    handle = sim.process(proc(sim))
+    sim.run()
+    assert handle.triggered
+    assert handle.value == 42
+
+
+def test_process_join():
+    sim = Simulator()
+    log = []
+
+    def child(sim):
+        yield sim.timeout(10.0)
+        return "child-done"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        log.append((sim.now, result))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert log == [(10.0, "child-done")]
+
+
+def test_event_trigger_value_delivery():
+    sim = Simulator()
+    evt = sim.event()
+    received = []
+
+    def waiter(sim):
+        value = yield evt
+        received.append(value)
+
+    def firer(sim):
+        yield sim.timeout(3.0)
+        evt.trigger("payload")
+
+    sim.process(waiter(sim))
+    sim.process(firer(sim))
+    sim.run()
+    assert received == ["payload"]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    evt = sim.event()
+    evt.trigger(1)
+    with pytest.raises(SimulationError):
+        evt.trigger(2)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    evt = sim.event()
+    with pytest.raises(SimulationError):
+        _ = evt.value
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    results = []
+
+    def worker(sim, delay, tag):
+        yield sim.timeout(delay)
+        return tag
+
+    def parent(sim):
+        procs = [
+            sim.process(worker(sim, 5.0, "a")),
+            sim.process(worker(sim, 2.0, "b")),
+            sim.process(worker(sim, 8.0, "c")),
+        ]
+        values = yield sim.all_of(procs)
+        results.append((sim.now, values))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert results == [(8.0, ["a", "b", "c"])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    done = []
+
+    def parent(sim):
+        values = yield sim.all_of([])
+        done.append(values)
+
+    sim.process(parent(sim))
+    sim.run()
+    assert done == [[]]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    results = []
+
+    def parent(sim):
+        slow = sim.timeout(10.0, "slow")
+        fast = sim.timeout(1.0, "fast")
+        event, value = yield sim.any_of([slow, fast])
+        results.append((sim.now, value))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert results == [(1.0, "fast")]
+    assert sim.now == 10.0  # the slow timeout still drains
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    caught = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            caught.append((sim.now, interrupt.cause))
+
+    def attacker(sim, victim_proc):
+        yield sim.timeout(4.0)
+        victim_proc.interrupt("preempt")
+
+    proc = sim.process(victim(sim))
+    sim.process(attacker(sim, proc))
+    sim.run()
+    assert caught == [(4.0, "preempt")]
+
+
+def test_interrupt_detaches_waited_event():
+    """The original timeout firing later must not resume the process."""
+    sim = Simulator()
+    resumptions = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+            resumptions.append("timeout")
+        except Interrupt:
+            resumptions.append("interrupt")
+            yield sim.timeout(500.0)
+            resumptions.append("after-sleep")
+
+    proc = sim.process(victim(sim))
+
+    def attacker(sim):
+        yield sim.timeout(1.0)
+        proc.interrupt()
+
+    sim.process(attacker(sim))
+    sim.run()
+    assert resumptions == ["interrupt", "after-sleep"]
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick(sim))
+    sim.run()
+    proc.interrupt()  # must not raise
+    sim.run()
+
+
+def test_uncaught_interrupt_terminates_process():
+    sim = Simulator()
+
+    def victim(sim):
+        yield sim.timeout(100.0)
+
+    proc = sim.process(victim(sim))
+
+    def attacker(sim):
+        yield sim.timeout(2.0)
+        proc.interrupt()
+
+    sim.process(attacker(sim))
+    sim.run()
+    assert proc.triggered
+    assert not proc.is_alive
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        while True:
+            yield sim.timeout(10.0)
+
+    sim.process(proc(sim))
+    end = sim.run(until=35.0)
+    assert end == pytest.approx(35.0)
+    assert sim.now == pytest.approx(35.0)
+
+
+def test_run_until_beyond_queue_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+
+    sim.process(proc(sim))
+    sim.run(until=100.0)
+    assert sim.now == pytest.approx(100.0)
+
+
+def test_same_time_events_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_yielding_non_event_raises():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_step_and_peek():
+    sim = Simulator()
+    sim.schedule(3.0, lambda: None)
+    sim.schedule(7.0, lambda: None)
+    assert sim.peek() == pytest.approx(3.0)
+    assert sim.step()
+    assert sim.now == pytest.approx(3.0)
+    assert sim.peek() == pytest.approx(7.0)
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_failed_event_propagates_into_process():
+    sim = Simulator()
+    caught = []
+
+    def waiter(sim, evt):
+        try:
+            yield evt
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    evt = sim.event()
+    sim.process(waiter(sim, evt))
+    sim.schedule(1.0, lambda: evt.fail(RuntimeError("boom")))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_callback_after_trigger_still_runs():
+    sim = Simulator()
+    seen = []
+    evt = sim.event()
+    evt.trigger("x")
+    sim.run()
+    evt.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["x"]

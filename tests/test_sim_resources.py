@@ -1,0 +1,225 @@
+"""Unit tests for Resource, Link, and Store."""
+
+import pytest
+
+from repro.sim import Link, Resource, Simulator, Store
+
+
+# ---------------------------------------------------------------- Resource
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    grants = [res.request(), res.request(), res.request()]
+    sim.run()
+    assert grants[0].triggered and grants[1].triggered
+    assert not grants[2].triggered
+    assert res.in_use == 2
+    assert res.queue_length == 1
+
+
+def test_resource_release_wakes_waiter():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    first = res.request()
+    second = res.request()
+    sim.run()
+    assert first.triggered and not second.triggered
+    res.release()
+    sim.run()
+    assert second.triggered
+
+
+def test_resource_priority_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder(sim):
+        yield res.request()
+        yield sim.timeout(10.0)
+        res.release()
+
+    def waiter(sim, tag, priority):
+        yield sim.timeout(1.0)  # enqueue after holder owns the slot
+        yield res.request(priority)
+        order.append(tag)
+        res.release()
+
+    sim.process(holder(sim))
+    sim.process(waiter(sim, "low", priority=5))
+    sim.process(waiter(sim, "high", priority=0))
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_resource_release_when_idle_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+# ---------------------------------------------------------------- Link
+
+
+def test_link_service_time():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1000.0)  # 1 GB/s
+    done_times = []
+
+    def mover(sim):
+        yield link.transfer(4096)
+        done_times.append(sim.now)
+
+    sim.process(mover(sim))
+    sim.run()
+    assert done_times == [pytest.approx(4.096)]
+
+
+def test_link_serializes_transfers():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1000.0)
+    finish = []
+
+    def mover(sim, tag):
+        wait = yield link.transfer(1000)
+        finish.append((tag, sim.now, wait))
+
+    for tag in range(3):
+        sim.process(mover(sim, tag))
+    sim.run()
+    times = [t for _tag, t, _w in finish]
+    assert times == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+    waits = [w for _tag, _t, w in finish]
+    assert waits == [pytest.approx(0.0), pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_link_priority_preempts_queue_order():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1000.0)
+    order = []
+
+    def mover(sim, tag, priority, start):
+        yield sim.timeout(start)
+        yield link.transfer(1000, priority=priority)
+        order.append(tag)
+
+    sim.process(mover(sim, "first", 0, 0.0))     # occupies the link
+    sim.process(mover(sim, "low", 5, 0.1))       # queues behind
+    sim.process(mover(sim, "high", 0, 0.2))      # should jump the queue
+    sim.run()
+    assert order == ["first", "high", "low"]
+
+
+def test_link_per_class_accounting():
+    sim = Simulator()
+    link = Link(sim, bandwidth=100.0)
+
+    def mover(sim):
+        yield link.transfer(500, traffic_class="io")
+        yield link.transfer(300, traffic_class="gc")
+
+    sim.process(mover(sim))
+    sim.run()
+    assert link.bytes_moved["io"] == 500
+    assert link.bytes_moved["gc"] == 300
+    assert link.busy_time["io"] == pytest.approx(5.0)
+    assert link.busy_time["gc"] == pytest.approx(3.0)
+    assert link.utilization() == pytest.approx(1.0)
+    assert link.class_utilization("gc") == pytest.approx(3.0 / 8.0)
+
+
+def test_link_bandwidth_timeline():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1000.0, bin_width=10.0)
+
+    def mover(sim):
+        yield link.transfer(2000, traffic_class="io")   # finishes at 2us
+        yield sim.timeout(10.0)
+        yield link.transfer(3000, traffic_class="io")   # starts at 12us
+
+    sim.process(mover(sim))
+    sim.run()
+    times, rates = link.bandwidth_timeline("io")
+    assert times == [0.0, 10.0]
+    assert rates[0] == pytest.approx(200.0)
+    assert rates[1] == pytest.approx(300.0)
+
+
+def test_link_mean_wait():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1000.0)
+
+    def mover(sim):
+        yield link.transfer(1000, traffic_class="io")
+
+    sim.process(mover(sim))
+    sim.process(mover(sim))
+    sim.run()
+    assert link.mean_wait("io") == pytest.approx(0.5)
+    assert link.mean_wait("absent") == 0.0
+
+
+def test_link_rejects_bad_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, bandwidth=0.0)
+    link = Link(sim, bandwidth=10.0)
+    with pytest.raises(ValueError):
+        link.transfer(0)
+
+
+# ---------------------------------------------------------------- Store
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    def producer(sim):
+        for item in ("a", "b", "c"):
+            yield sim.timeout(1.0)
+            store.put(item)
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_store_get_before_put_blocks():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    sim.process(consumer(sim))
+    sim.schedule(5.0, store.put, "late")
+    sim.run()
+    assert got == [(5.0, "late")]
+
+
+def test_store_len_and_peek():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.peek_all() == [1, 2]

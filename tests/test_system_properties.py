@@ -1,0 +1,103 @@
+"""System-level property tests: invariants under randomized workloads.
+
+These drive the full SSD with hypothesis-generated request mixes and
+assert the global invariants that garbage collection, write buffering,
+TRIM, and the mapping table must jointly preserve.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ArchPreset, build_ssd, sim_geometry
+from repro.ftl import READ, TRIM, WRITE, IoRequest
+
+GEOM = sim_geometry(channels=2, ways=2, planes=2, blocks_per_plane=8,
+                    pages_per_block=8)
+
+request_strategy = st.lists(
+    st.tuples(
+        st.sampled_from([READ, WRITE, TRIM]),
+        st.integers(0, 200),      # lpn
+        st.integers(1, 4),        # n_pages
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def drive_requests(arch, ops):
+    ssd = build_ssd(arch, geometry=GEOM, queue_depth=8)
+    ssd.prefill()
+    ssd.ftl.start()
+    procs = [ssd.ftl.submit(IoRequest(op=op, lpn=lpn, n_pages=n))
+             for op, lpn, n in ops]
+    ssd.sim.run(until=5_000_000.0)
+    return ssd, procs
+
+
+@settings(deadline=None, max_examples=12,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(request_strategy)
+def test_all_requests_complete_and_mapping_consistent_baseline(ops):
+    ssd, procs = drive_requests(ArchPreset.BASELINE, ops)
+    assert all(p.triggered for p in procs)
+    ssd.mapping.check_consistency()
+
+
+@settings(deadline=None, max_examples=12,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(request_strategy)
+def test_all_requests_complete_and_mapping_consistent_dssd_f(ops):
+    ssd, procs = drive_requests(ArchPreset.DSSD_F, ops)
+    assert all(p.triggered for p in procs)
+    ssd.mapping.check_consistency()
+
+
+@settings(deadline=None, max_examples=10,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(request_strategy)
+def test_valid_page_accounting_matches_mapping(ops):
+    """Every mapped LPN's physical page is marked valid, and vice versa
+    (modulo pages still dirty in the write buffer)."""
+    ssd, _procs = drive_requests(ArchPreset.BASELINE, ops)
+    total_valid = sum(info.valid_count
+                      for info in ssd.blocks.blocks.values())
+    assert total_valid == len(ssd.mapping)
+    for info in ssd.blocks.blocks.values():
+        assert info.pending == 0
+
+
+@settings(deadline=None, max_examples=10,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(request_strategy)
+def test_block_accounting_invariant(ops):
+    """free + active + full + collecting + bad partitions all blocks,
+    and the free counter matches the pool sizes."""
+    ssd, _procs = drive_requests(ArchPreset.BASELINE, ops)
+    states = {}
+    for info in ssd.blocks.blocks.values():
+        states[info.state] = states.get(info.state, 0) + 1
+    assert sum(states.values()) == GEOM.blocks_total
+    pool_total = sum(
+        ssd.blocks.plane_free_blocks(p)
+        for p in range(GEOM.planes_total)
+    )
+    assert pool_total == ssd.blocks.free_blocks
+    assert states.get("collecting", 0) == 0  # no orphaned collections
+
+
+@settings(deadline=None, max_examples=8,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=20))
+def test_write_read_write_never_loses_lpns(lpns):
+    """LPNs written (and not trimmed) stay resolvable forever."""
+    ssd = build_ssd(ArchPreset.DSSD, geometry=GEOM, queue_depth=8)
+    ssd.prefill()
+    ssd.ftl.start()
+    for lpn in lpns:
+        ssd.ftl.submit(IoRequest(op=WRITE, lpn=lpn, n_pages=1))
+    ssd.sim.run(until=5_000_000.0)
+    for lpn in set(lpns):
+        # Either still dirty in the buffer or mapped to flash.
+        assert (lpn in ssd.ftl._dirty
+                or ssd.mapping.lookup(lpn) is not None)
