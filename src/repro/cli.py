@@ -2,10 +2,21 @@
 
 Usage::
 
-    python -m repro fig7            # quick mode
-    python -m repro fig11 --full    # longer, smoother run
-    python -m repro all             # every experiment, quick mode
-    repro-dssd fig14                # console-script alias
+    python -m repro fig7                 # quick mode, parallel workers
+    python -m repro fig11 --full         # longer, smoother run
+    python -m repro all                  # every experiment, quick mode
+    python -m repro all --jobs 4         # cap the worker pool at 4
+    python -m repro fig12 --jobs 1       # deterministic serial run
+    python -m repro fig8 --no-cache      # ignore + bypass cached points
+    python -m repro fig13 --progress     # per-point progress on stderr
+    repro-dssd fig14                     # console-script alias
+
+Sweep points fan out over ``--jobs`` worker processes (default: every
+CPU core) and completed points are cached under ``~/.cache/repro-dssd/``
+so re-running a figure only simulates what changed.  Tables printed to
+stdout are byte-identical for any ``--jobs`` value and for cached vs
+fresh runs; the harness summary (points computed/cached, wall time,
+worker utilization) goes to stderr so it never perturbs the tables.
 """
 
 from __future__ import annotations
@@ -16,6 +27,7 @@ import time
 from typing import List, Optional
 
 from .experiments import EXPERIMENTS
+from .experiments.runner import RunnerMetrics, configured, default_jobs
 
 __all__ = ["main"]
 
@@ -35,19 +47,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--full", action="store_true",
         help="longer simulation windows (slower, smoother numbers)",
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes for independent sweep points "
+             f"(default: all {default_jobs()} CPU cores; "
+             "1 = deterministic serial fallback)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the point-result cache "
+             "(~/.cache/repro-dssd, override with REPRO_DSSD_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print one line per completed sweep point to stderr",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
+    jobs = args.jobs if args.jobs and args.jobs > 0 else default_jobs()
+    total = RunnerMetrics()
     for name in names:
         module = EXPERIMENTS[name]
+        metrics = RunnerMetrics()
         started = time.time()
-        result = module.run(quick=not args.full)
+        with configured(jobs=jobs, cache=not args.no_cache,
+                        progress=args.progress, metrics=metrics):
+            result = module.run(quick=not args.full)
         elapsed = time.time() - started
         print(f"=== {name} ({module.__name__.rsplit('.', 1)[-1]}, "
               f"{elapsed:.1f}s) ===")
         print(result["table"])
         print()
+        if metrics.points:
+            print(f"[{name}] {metrics.format_line()}", file=sys.stderr)
+        total.merge(metrics)
+    if len(names) > 1 and total.points:
+        print(f"[all] {total.format_line()}", file=sys.stderr)
     return 0
 
 

@@ -2,8 +2,17 @@
 
 Each module exposes ``run(quick=True) -> dict`` (data series plus a
 rendered ``"table"``).  ``EXPERIMENTS`` maps CLI names to modules.
+
+Sweeps execute through :mod:`repro.experiments.runner`: every module
+declares its independent simulation points as picklable
+:class:`~repro.experiments.runner.PointSpec` entries, and
+:func:`~repro.experiments.runner.run_points` fans them out over worker
+processes with a content-addressed result cache.  Scope parallelism,
+caching, and metrics around ``run()`` with
+:func:`~repro.experiments.runner.configured`.
 """
 
+from . import runner
 from . import (
     ablations,
     fig02_motivation,
@@ -20,6 +29,12 @@ from . import (
     table3_qualitative,
 )
 from .common import ARCH_ORDER, format_table, gc_burst_run, steady_run
+from .runner import (
+    PointSpec,
+    RunnerMetrics,
+    configured,
+    run_points,
+)
 
 EXPERIMENTS = {
     "fig2": fig02_motivation,
@@ -40,7 +55,12 @@ EXPERIMENTS = {
 __all__ = [
     "ARCH_ORDER",
     "EXPERIMENTS",
+    "PointSpec",
+    "RunnerMetrics",
+    "configured",
     "format_table",
     "gc_burst_run",
+    "run_points",
+    "runner",
     "steady_run",
 ]

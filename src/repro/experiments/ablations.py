@@ -21,21 +21,63 @@ from typing import Dict, List
 from ..core import ArchPreset, sim_geometry
 from ..noc import Mesh1D, Mesh2D
 from .common import format_table, gc_burst_run, steady_run
+from .runner import PointSpec, run_points
 
-__all__ = ["run", "DBUF_SIZES", "PIPELINE_DEPTHS", "BUFFER_SIZES"]
+__all__ = ["run", "dbuf_point", "pipeline_point", "write_buffer_point",
+           "copyback_point", "mesh_point", "DBUF_SIZES",
+           "PIPELINE_DEPTHS", "BUFFER_SIZES"]
 
 DBUF_SIZES = (4, 8, 16, 64)
 PIPELINE_DEPTHS = (1, 2, 4, 8)
 BUFFER_SIZES = (256, 1024, 4096)
 
 
-def _dbuf_sweep(quick: bool) -> Dict:
-    sizes = DBUF_SIZES[:3] if quick else DBUF_SIZES
-    perf = [
-        gc_burst_run(ArchPreset.DSSD_F, quick=quick,
-                     dbuf_pages=size)[1]["pages_per_us"]
-        for size in sizes
-    ]
+def dbuf_point(size: int, quick: bool) -> Dict[str, float]:
+    """GC burst rate at one dBUF depth."""
+    _ssd, episode = gc_burst_run(ArchPreset.DSSD_F, quick=quick,
+                                 dbuf_pages=size)
+    return {"pages_per_us": episode["pages_per_us"]}
+
+
+def pipeline_point(depth: int, quick: bool) -> Dict[str, float]:
+    """Baseline GC burst rate at one PaGC pipeline depth."""
+    _ssd, episode = gc_burst_run(ArchPreset.BASELINE, quick=quick,
+                                 gc_pipeline_depth=depth)
+    return {"pages_per_us": episode["pages_per_us"]}
+
+
+def write_buffer_point(pages: int, quick: bool) -> Dict[str, float]:
+    """Steady-state metrics at one DRAM write-buffer size."""
+    _ssd, result = steady_run(ArchPreset.BASELINE, quick=quick,
+                              write_buffer_pages=pages)
+    return {"io_bandwidth": result.io_bandwidth,
+            "mean_us": result.io_latency.mean,
+            "p99_us": result.io_latency.p99}
+
+
+def copyback_point(checked: bool, quick: bool) -> Dict[str, float]:
+    """Checked vs legacy copyback: burst rate + unchecked-page count."""
+    ssd, episode = gc_burst_run(ArchPreset.DSSD_F, quick=quick,
+                                copyback_ecc=checked)
+    return {"pages_per_us": episode["pages_per_us"],
+            "unchecked": ssd.datapath.unchecked_copies}
+
+
+def mesh_point(topology: str, quick: bool) -> Dict[str, float]:
+    """1-D vs 2-D mesh at 16 controllers, equal bisection bandwidth."""
+    geometry = sim_geometry(channels=16, ways=2, planes=4,
+                            blocks_per_plane=12)
+    bisection = 2000.0
+    topo_cls = {"mesh1d": Mesh1D, "mesh2d": Mesh2D}[topology]
+    channel_bw = topo_cls(16).channel_bandwidth_for_bisection(bisection)
+    _ssd, episode = gc_burst_run(
+        ArchPreset.DSSD_F, quick=quick, geometry=geometry,
+        fnoc_topology=topology, fnoc_channel_bw=channel_bw,
+    )
+    return {"pages_per_us": episode["pages_per_us"]}
+
+
+def _dbuf_sweep(sizes, perf: List[float]) -> Dict:
     table = format_table(
         ["metric"] + [f"{s} pages" for s in sizes],
         [["GC pages/us"] + perf],
@@ -44,13 +86,7 @@ def _dbuf_sweep(quick: bool) -> Dict:
     return {"sizes": list(sizes), "pages_per_us": perf, "table": table}
 
 
-def _pipeline_sweep(quick: bool) -> Dict:
-    depths = PIPELINE_DEPTHS[:3] if quick else PIPELINE_DEPTHS
-    perf = [
-        gc_burst_run(ArchPreset.BASELINE, quick=quick,
-                     gc_pipeline_depth=depth)[1]["pages_per_us"]
-        for depth in depths
-    ]
+def _pipeline_sweep(depths, perf: List[float]) -> Dict:
     table = format_table(
         ["metric"] + [f"depth {d}" for d in depths],
         [["GC pages/us"] + perf],
@@ -59,16 +95,13 @@ def _pipeline_sweep(quick: bool) -> Dict:
     return {"depths": list(depths), "pages_per_us": perf, "table": table}
 
 
-def _write_buffer_sweep(quick: bool) -> Dict:
-    sizes = BUFFER_SIZES[:2] if quick else BUFFER_SIZES
+def _write_buffer_sweep(sizes, points: List[Dict]) -> Dict:
     rows: List[List] = []
     p99s = []
-    for pages in sizes:
-        _ssd, result = steady_run(ArchPreset.BASELINE, quick=quick,
-                                  write_buffer_pages=pages)
-        p99s.append(result.io_latency.p99)
-        rows.append([f"{pages} pages", result.io_bandwidth,
-                     result.io_latency.mean, result.io_latency.p99])
+    for pages, point in zip(sizes, points):
+        p99s.append(point["p99_us"])
+        rows.append([f"{pages} pages", point["io_bandwidth"],
+                     point["mean_us"], point["p99_us"]])
     table = format_table(
         ["buffer", "IO MB/s", "mean us", "p99 us"],
         rows,
@@ -77,16 +110,12 @@ def _write_buffer_sweep(quick: bool) -> Dict:
     return {"sizes": list(sizes), "p99_us": p99s, "table": table}
 
 
-def _copyback_ecc(quick: bool) -> Dict:
-    checked_ssd, checked = gc_burst_run(ArchPreset.DSSD_F, quick=quick,
-                                        copyback_ecc=True)
-    legacy_ssd, legacy = gc_burst_run(ArchPreset.DSSD_F, quick=quick,
-                                      copyback_ecc=False)
+def _copyback_ecc(checked: Dict, legacy: Dict) -> Dict:
     rows = [
         ["checked (this work)", checked["pages_per_us"],
-         checked_ssd.datapath.unchecked_copies],
+         checked["unchecked"]],
         ["legacy (no ECC)", legacy["pages_per_us"],
-         legacy_ssd.datapath.unchecked_copies],
+         legacy["unchecked"]],
     ]
     table = format_table(
         ["copyback mode", "GC pages/us", "unchecked copies"],
@@ -96,24 +125,13 @@ def _copyback_ecc(quick: bool) -> Dict:
     return {
         "checked_pages_per_us": checked["pages_per_us"],
         "legacy_pages_per_us": legacy["pages_per_us"],
-        "legacy_unchecked": legacy_ssd.datapath.unchecked_copies,
+        "legacy_unchecked": legacy["unchecked"],
         "table": table,
     }
 
 
-def _mesh2d(quick: bool) -> Dict:
+def _mesh2d(perf: Dict[str, float]) -> Dict:
     """The paper's open topology question, at 16 controllers."""
-    geometry = sim_geometry(channels=16, ways=2, planes=4,
-                            blocks_per_plane=12)
-    bisection = 2000.0
-    perf = {}
-    for name, topo_cls in (("mesh1d", Mesh1D), ("mesh2d", Mesh2D)):
-        channel_bw = topo_cls(16).channel_bandwidth_for_bisection(bisection)
-        _ssd, episode = gc_burst_run(
-            ArchPreset.DSSD_F, quick=quick, geometry=geometry,
-            fnoc_topology=name, fnoc_channel_bw=channel_bw,
-        )
-        perf[name] = episode["pages_per_us"]
     table = format_table(
         ["topology", "GC pages/us"],
         [[name, value] for name, value in perf.items()],
@@ -125,12 +143,46 @@ def _mesh2d(quick: bool) -> Dict:
 
 def run(quick: bool = True) -> Dict:
     """All ablations."""
+    dbuf_sizes = DBUF_SIZES[:3] if quick else DBUF_SIZES
+    depths = PIPELINE_DEPTHS[:3] if quick else PIPELINE_DEPTHS
+    buffer_sizes = BUFFER_SIZES[:2] if quick else BUFFER_SIZES
+    meshes = ("mesh1d", "mesh2d")
+    specs = (
+        [PointSpec.from_callable(dbuf_point,
+                                 {"size": size, "quick": quick},
+                                 key=f"ablations:dbuf/{size}")
+         for size in dbuf_sizes]
+        + [PointSpec.from_callable(pipeline_point,
+                                   {"depth": depth, "quick": quick},
+                                   key=f"ablations:pipeline/{depth}")
+           for depth in depths]
+        + [PointSpec.from_callable(write_buffer_point,
+                                   {"pages": pages, "quick": quick},
+                                   key=f"ablations:wbuf/{pages}")
+           for pages in buffer_sizes]
+        + [PointSpec.from_callable(copyback_point,
+                                   {"checked": checked, "quick": quick},
+                                   key=f"ablations:copyback/"
+                                       f"{'ecc' if checked else 'legacy'}")
+           for checked in (True, False)]
+        + [PointSpec.from_callable(mesh_point,
+                                   {"topology": topology, "quick": quick},
+                                   key=f"ablations:{topology}")
+           for topology in meshes]
+    )
+    points = iter(run_points(specs))
     parts = {
-        "dbuf": _dbuf_sweep(quick),
-        "pipeline": _pipeline_sweep(quick),
-        "write_buffer": _write_buffer_sweep(quick),
-        "copyback_ecc": _copyback_ecc(quick),
-        "mesh2d": _mesh2d(quick),
+        "dbuf": _dbuf_sweep(
+            dbuf_sizes,
+            [next(points)["pages_per_us"] for _s in dbuf_sizes]),
+        "pipeline": _pipeline_sweep(
+            depths, [next(points)["pages_per_us"] for _d in depths]),
+        "write_buffer": _write_buffer_sweep(
+            buffer_sizes, [next(points) for _p in buffer_sizes]),
+        "copyback_ecc": _copyback_ecc(next(points), next(points)),
+        "mesh2d": _mesh2d(
+            {topology: next(points)["pages_per_us"]
+             for topology in meshes}),
     }
     parts["table"] = "\n\n".join(p["table"] for p in parts.values())
     return parts

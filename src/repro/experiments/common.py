@@ -5,6 +5,16 @@ figure's data series plus a human-readable ``"table"`` string.  Quick
 mode shrinks durations so the benchmark suite stays tractable; full mode
 (``--full`` on the CLI) runs longer for smoother numbers.  Shapes (who
 wins, where curves saturate) are stable across both.
+
+Internally each figure declares its sweep as a list of
+:class:`~repro.experiments.runner.PointSpec` entries — picklable
+``(function, params)`` descriptions of one simulation each — and hands
+them to :func:`~repro.experiments.runner.run_points`, which fans them
+out over worker processes and caches their results.  The helpers here
+(:func:`run_arch`, :func:`steady_run`, :func:`gc_burst_run`) are the
+building blocks those point functions call *inside* a worker; anything
+they receive must be reconstructible from the spec's plain-data params
+(e.g. :func:`decode_timing` turns ``"tlc"`` back into a timing object).
 """
 
 from __future__ import annotations
@@ -12,11 +22,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..core import ArchPreset, build_ssd, sim_geometry
+from ..errors import ConfigError
 from ..workloads import SyntheticWorkload
 
 __all__ = [
     "ARCH_ORDER",
     "bench_durations",
+    "decode_timing",
     "format_table",
     "gc_burst_run",
     "normalized",
@@ -88,6 +100,23 @@ def gc_burst_run(arch, quick: bool = True, **overrides):
     episode["pages_per_us"] = episode["pages"] / duration_us
     episode["duration_us"] = duration_us
     return ssd, episode
+
+
+def decode_timing(name: str):
+    """Flash timing preset by spec name (``"ull"`` / ``"tlc"``).
+
+    Point-spec params must be JSON-able, so specs carry the preset name
+    and point functions decode it back to the timing object.
+    """
+    from ..flash import TLC_TIMING, ULL_TIMING
+
+    presets = {"ull": ULL_TIMING, "tlc": TLC_TIMING}
+    try:
+        return presets[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown timing preset {name!r}; available: {sorted(presets)}"
+        )
 
 
 def normalized(values: Sequence[float],

@@ -15,11 +15,13 @@ from typing import Dict
 from ..core import ArchPreset
 from ..workloads import SyntheticWorkload
 from .common import bench_durations, format_table, run_arch
+from .runner import PointSpec, run_points
 
-__all__ = ["run"]
+__all__ = ["run", "scenario_point"]
 
 
-def _scenario(io_size: int, quick: bool) -> Dict:
+def scenario_point(io_size: int, quick: bool) -> Dict:
+    """One motivation scenario (Baseline, one I/O size): timelines + GC."""
     windows = bench_durations(quick)
     workload = SyntheticWorkload(pattern="seq_write", io_size=io_size)
     ssd, result = run_arch(ArchPreset.BASELINE, workload,
@@ -51,8 +53,13 @@ def _scenario(io_size: int, quick: bool) -> Dict:
 
 def run(quick: bool = True) -> Dict:
     """Run both scenarios; returns series plus a summary table."""
-    low = _scenario(4096, quick)
-    high = _scenario(32768, quick)
+    specs = [
+        PointSpec.from_callable(scenario_point,
+                                {"io_size": io_size, "quick": quick},
+                                key=f"fig2:{label}")
+        for label, io_size in (("low", 4096), ("high", 32768))
+    ]
+    low, high = run_points(specs)
     rows = []
     for label, sc in (("low (4KB)", low), ("high (32KB)", high)):
         drop = 0.0

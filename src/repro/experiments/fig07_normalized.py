@@ -15,8 +15,28 @@ from typing import Dict
 from ..workloads import SyntheticWorkload
 from .common import ARCH_ORDER, bench_durations, format_table, run_arch, \
     steady_run
+from .runner import PointSpec, run_points
 
-__all__ = ["run"]
+__all__ = ["run", "steady_point", "bus_util_point"]
+
+
+def steady_point(arch: str, quick: bool) -> Dict[str, float]:
+    """Steady-state contention metrics for one architecture."""
+    _ssd, result = steady_run(arch, quick=quick)
+    return {
+        "io_bandwidth": result.io_bandwidth,
+        "gc_move_latency_us": result.extras["gc_move_latency_us"],
+        "p99_us": result.io_latency.p99,
+    }
+
+
+def bus_util_point(arch: str, dram_hit: float, quick: bool) -> Dict:
+    """I/O system-bus utilization for one (arch, DRAM-hit) case."""
+    windows = bench_durations(quick)
+    workload = SyntheticWorkload(pattern="seq_write", io_size=32768,
+                                 dram_hit_fraction=dram_hit)
+    _ssd, result = run_arch(arch, workload, **windows)
+    return {"bus_io_utilization": result.bus_io_utilization}
 
 
 def run(quick: bool = True) -> Dict:
@@ -30,17 +50,33 @@ def run(quick: bool = True) -> Dict:
     victim validity, so they do not isolate the datapath.)
     """
     archs = list(ARCH_ORDER)
+    cases = (("dram_write", 1.0), ("flash_write", 0.0))
+    specs = [
+        PointSpec.from_callable(steady_point,
+                                {"arch": arch.value, "quick": quick},
+                                key=f"fig7a:{arch.value}")
+        for arch in archs
+    ] + [
+        PointSpec.from_callable(
+            bus_util_point,
+            {"arch": arch.value, "dram_hit": hit, "quick": quick},
+            key=f"fig7b:{arch.value}/{case}")
+        for arch in archs for case, hit in cases
+    ]
+    points = run_points(specs)
+    steady = dict(zip((a.value for a in archs), points[:len(archs)]))
+
     io_bw = {}
     gc_rate = {}
     gc_move_latency = {}
     p99 = {}
     for arch in archs:
-        _ssd, result = steady_run(arch, quick=quick)
-        io_bw[arch.value] = result.io_bandwidth
-        move = max(result.extras["gc_move_latency_us"], 1e-9)
+        point = steady[arch.value]
+        io_bw[arch.value] = point["io_bandwidth"]
+        move = max(point["gc_move_latency_us"], 1e-9)
         gc_move_latency[arch.value] = move
         gc_rate[arch.value] = 1.0 / move
-        p99[arch.value] = result.io_latency.p99
+        p99[arch.value] = point["p99_us"]
 
     base_io = io_bw["baseline"]
     base_gc = max(gc_rate["baseline"], 1e-12)
@@ -60,16 +96,12 @@ def run(quick: bool = True) -> Dict:
     )
 
     # (b) I/O bus utilization during GC, DRAM-hit vs flash-write I/O.
-    windows = bench_durations(quick)
+    util_points = iter(points[len(archs):])
     util = {}
     for arch in archs:
         per_case = {}
-        for case, hit in (("dram_write", 1.0), ("flash_write", 0.0)):
-            workload = SyntheticWorkload(pattern="seq_write",
-                                         io_size=32768,
-                                         dram_hit_fraction=hit)
-            _ssd, result = run_arch(arch, workload, **windows)
-            per_case[case] = result.bus_io_utilization
+        for case, _hit in cases:
+            per_case[case] = next(util_points)["bus_io_utilization"]
         util[arch.value] = per_case
     rows_b = [
         [arch.value,

@@ -14,14 +14,19 @@ from typing import Dict, List
 
 from ..core import ArchPreset
 from .common import format_table, steady_run
+from .runner import PointSpec, run_points
 
-__all__ = ["run", "FACTORS"]
+__all__ = ["run", "metrics_point", "FACTORS"]
 
 FACTORS = (1.25, 1.5, 2.0, 3.0, 4.0)
 
 
-def _metrics(arch, factor: float, io_size: int, quick: bool,
-             **overrides) -> Dict[str, float]:
+def metrics_point(arch: str, factor: float, io_size: int, quick: bool,
+                  fnoc_channel_bw: float = None) -> Dict[str, float]:
+    """I/O bandwidth and GC page rate at one on-chip bandwidth factor."""
+    overrides = {}
+    if fnoc_channel_bw is not None:
+        overrides["fnoc_channel_bw"] = fnoc_channel_bw
     _ssd, result = steady_run(arch, quick=quick, io_size=io_size,
                               onchip_bw_factor=factor, **overrides)
     window = max(result.duration_us, 1e-9)
@@ -31,22 +36,39 @@ def _metrics(arch, factor: float, io_size: int, quick: bool,
     }
 
 
+def _spec(arch, factor, io_size, quick, label, **extra) -> PointSpec:
+    params = {"arch": arch.value, "factor": factor, "io_size": io_size,
+              "quick": quick}
+    params.update(extra)
+    return PointSpec.from_callable(
+        metrics_point, params, key=f"fig8:{label}/x{factor}/{arch.value}")
+
+
 def run(quick: bool = True) -> Dict:
     """Sweep factors; returns normalized curves per scenario."""
+    scenarios = (("low", 4096), ("high", 32768))
+    specs: List[PointSpec] = []
+    for label, io_size in scenarios:
+        specs.append(_spec(ArchPreset.BASELINE, 1.0, io_size, quick, label))
+        for factor in FACTORS:
+            specs.append(_spec(ArchPreset.BW, factor, io_size, quick,
+                               label))
+            # dSSD_f spends the extra budget on the fabric bisection.
+            extra = 8000.0 * (factor - 1.0)
+            specs.append(_spec(ArchPreset.DSSD_F, factor, io_size, quick,
+                               label,
+                               fnoc_channel_bw=max(extra / 2.0, 250.0)))
+    points = iter(run_points(specs))
+
     data: Dict[str, Dict] = {}
     tables: List[str] = []
-    for label, io_size in (("low", 4096), ("high", 32768)):
-        base = _metrics(ArchPreset.BASELINE, 1.0, io_size, quick)
+    for label, _io_size in scenarios:
+        base = next(points)
         rows = []
         series = {"factors": list(FACTORS), "bw": [], "dssd_f": []}
         for factor in FACTORS:
-            bw = _metrics(ArchPreset.BW, factor, io_size, quick)
-            # dSSD_f spends the extra budget on the fabric bisection.
-            extra = 8000.0 * (factor - 1.0)
-            dssd_f = _metrics(
-                ArchPreset.DSSD_F, factor, io_size, quick,
-                fnoc_channel_bw=max(extra / 2.0, 250.0),
-            )
+            bw = next(points)
+            dssd_f = next(points)
             bw_norm = {k: bw[k] / max(base[k], 1e-12) for k in bw}
             df_norm = {k: dssd_f[k] / max(base[k], 1e-12) for k in dssd_f}
             series["bw"].append(bw_norm)

@@ -14,35 +14,53 @@ from typing import Dict, List
 
 from ..core import ArchPreset, sim_geometry
 from .common import format_table, steady_run
+from .runner import PointSpec, run_points
 
-__all__ = ["run", "PLANE_COUNTS"]
+__all__ = ["run", "breakdown_point", "PLANE_COUNTS"]
 
 PLANE_COUNTS = (1, 2, 4, 8)
 
 _SHOWN = ("flash_chip", "flash_bus", "system_bus", "dram", "ecc", "fnoc")
 
 
+def breakdown_point(arch: str, planes: int, quick: bool) -> Dict:
+    """I/O and copyback latency breakdowns at one plane count."""
+    geometry = sim_geometry(planes=planes)
+    _ssd, result = steady_run(
+        arch, quick=quick, geometry=geometry,
+        write_policy="writethrough",
+    )
+    return {
+        "io": result.io_breakdown.as_dict(),
+        "copyback": result.gc_breakdown.as_dict(),
+    }
+
+
 def run(quick: bool = True) -> Dict:
     """Sweep plane counts on Baseline and dSSD_f; return breakdowns."""
+    sweep = [(arch, planes)
+             for arch in (ArchPreset.BASELINE, ArchPreset.DSSD_F)
+             for planes in PLANE_COUNTS]
+    specs = [
+        PointSpec.from_callable(
+            breakdown_point,
+            {"arch": arch.value, "planes": planes, "quick": quick},
+            key=f"fig9:{arch.value}/p{planes}")
+        for arch, planes in sweep
+    ]
     data: Dict[str, Dict] = {"io": {}, "copyback": {}}
     rows_io: List[List] = []
     rows_cb: List[List] = []
-    for arch in (ArchPreset.BASELINE, ArchPreset.DSSD_F):
-        for planes in PLANE_COUNTS:
-            geometry = sim_geometry(planes=planes)
-            _ssd, result = steady_run(
-                arch, quick=quick, geometry=geometry,
-                write_policy="writethrough",
-            )
-            io_bd = result.io_breakdown.as_dict()
-            cb_bd = result.gc_breakdown.as_dict()
-            key = f"{arch.value}/p{planes}"
-            data["io"][key] = io_bd
-            data["copyback"][key] = cb_bd
-            rows_io.append([arch.value, planes]
-                           + [io_bd[c] for c in _SHOWN])
-            rows_cb.append([arch.value, planes]
-                           + [cb_bd[c] for c in _SHOWN])
+    for (arch, planes), point in zip(sweep, run_points(specs)):
+        io_bd = point["io"]
+        cb_bd = point["copyback"]
+        key = f"{arch.value}/p{planes}"
+        data["io"][key] = io_bd
+        data["copyback"][key] = cb_bd
+        rows_io.append([arch.value, planes]
+                       + [io_bd[c] for c in _SHOWN])
+        rows_cb.append([arch.value, planes]
+                       + [cb_bd[c] for c in _SHOWN])
     headers = ["arch", "planes"] + list(_SHOWN)
     table = (
         format_table(headers, rows_io,

@@ -16,37 +16,76 @@ from typing import Dict, List
 from ..core import ArchPreset
 from ..workloads import SyntheticWorkload, make_msr_workload
 from .common import ARCH_ORDER, bench_durations, format_table, run_arch
+from .runner import PointSpec, run_points
 
-__all__ = ["run", "FIG10B_TRACES"]
+__all__ = ["run", "dram_hit_point", "trace_point", "FIG10B_TRACES"]
 
 FIG10B_TRACES = ("prn_0", "usr_0", "hm_0", "usr_2", "proj_0", "web_0")
 
 
-def _dram_hit_run(arch, quick: bool, **overrides):
+def dram_hit_point(arch: str, quick: bool) -> Dict[str, float]:
+    """100 % DRAM-hit I/O while a GC burst runs (part a)."""
     windows = bench_durations(quick)
     workload = SyntheticWorkload(pattern="seq_write", io_size=32768,
                                  dram_hit_fraction=1.0)
     # Prefill below the trigger so a GC burst starts immediately and
     # keeps running against pre-invalidated blocks.
-    overrides.setdefault("prefill_fraction", 0.93)
-    return run_arch(arch, workload, duration_us=windows["duration_us"],
-                    warmup_us=windows["warmup_us"] / 2.0, **overrides)
+    _ssd, result = run_arch(arch, workload,
+                            duration_us=windows["duration_us"],
+                            warmup_us=windows["warmup_us"] / 2.0,
+                            prefill_fraction=0.93)
+    return {
+        "io_bandwidth": result.io_bandwidth,
+        "p99_us": result.io_latency.p99,
+        "mean_us": result.io_latency.mean,
+        "gc_pages": result.gc.pages_moved,
+    }
+
+
+def trace_point(trace: str, arch: str, quick: bool,
+                gc_policy: str = None) -> Dict[str, float]:
+    """Mean I/O latency for one (trace, config) pair (part b)."""
+    windows = bench_durations(quick)
+    overrides = {"gc_policy": gc_policy} if gc_policy else {}
+    workload = make_msr_workload(trace, n_requests=1500, seed=4)
+    _ssd, result = run_arch(arch, workload,
+                            duration_us=windows["duration_us"],
+                            warmup_us=windows["warmup_us"],
+                            **overrides)
+    return {"mean_us": result.io_latency.mean}
 
 
 def run(quick: bool = True) -> Dict:
     """Run part (a) across architectures and part (b) across traces."""
+    configs = (
+        ("baseline", ArchPreset.BASELINE, None),
+        ("bw", ArchPreset.BW, None),
+        ("tinytail", ArchPreset.BW, "tinytail"),
+        ("dssd_f", ArchPreset.DSSD_F, None),
+    )
+    specs = [
+        PointSpec.from_callable(dram_hit_point,
+                                {"arch": arch.value, "quick": quick},
+                                key=f"fig10a:{arch.value}")
+        for arch in ARCH_ORDER
+    ] + [
+        PointSpec.from_callable(
+            trace_point,
+            {"trace": trace, "arch": arch.value, "quick": quick,
+             "gc_policy": policy},
+            key=f"fig10b:{trace}/{label}")
+        for trace in FIG10B_TRACES
+        for label, arch, policy in configs
+    ]
+    points = iter(run_points(specs))
+
     part_a: Dict[str, Dict[str, float]] = {}
     rows_a: List[List] = []
     for arch in ARCH_ORDER:
-        _ssd, result = _dram_hit_run(arch, quick)
-        part_a[arch.value] = {
-            "io_bandwidth": result.io_bandwidth,
-            "p99_us": result.io_latency.p99,
-            "mean_us": result.io_latency.mean,
-            "gc_pages": result.gc.pages_moved,
-        }
-        rows_a.append([arch.value, result.io_bandwidth,
-                       result.io_latency.mean, result.io_latency.p99])
+        point = next(points)
+        part_a[arch.value] = point
+        rows_a.append([arch.value, point["io_bandwidth"],
+                       point["mean_us"], point["p99_us"]])
     base_p99 = max(part_a["baseline"]["p99_us"], 1e-9)
     for row, arch in zip(rows_a, ARCH_ORDER):
         row.append(base_p99 / max(part_a[arch.value]["p99_us"], 1e-9))
@@ -56,35 +95,22 @@ def run(quick: bool = True) -> Dict:
         title="Fig 10(a): 100% DRAM-hit I/O during GC",
     )
 
-    configs = (
-        ("baseline", ArchPreset.BASELINE, {}),
-        ("bw", ArchPreset.BW, {}),
-        ("tinytail", ArchPreset.BW, {"gc_policy": "tinytail"}),
-        ("dssd_f", ArchPreset.DSSD_F, {}),
-    )
-    windows = bench_durations(quick)
     part_b: Dict[str, Dict[str, float]] = {}
     for trace in FIG10B_TRACES:
-        per_arch = {}
-        for label, arch, overrides in configs:
-            workload = make_msr_workload(trace, n_requests=1500, seed=4)
-            _ssd, result = run_arch(arch, workload,
-                                    duration_us=windows["duration_us"],
-                                    warmup_us=windows["warmup_us"],
-                                    **overrides)
-            per_arch[label] = result.io_latency.mean
-        part_b[trace] = per_arch
+        part_b[trace] = {
+            label: next(points)["mean_us"] for label, _a, _p in configs
+        }
     rows_b = [
-        [trace] + [part_b[trace][label] for label, _a, _o in configs]
+        [trace] + [part_b[trace][label] for label, _a, _p in configs]
         for trace in FIG10B_TRACES
     ]
     means = [
         sum(part_b[t][label] for t in FIG10B_TRACES) / len(FIG10B_TRACES)
-        for label, _a, _o in configs
+        for label, _a, _p in configs
     ]
     rows_b.append(["MEAN"] + means)
     table_b = format_table(
-        ["trace"] + [label for label, _a, _o in configs],
+        ["trace"] + [label for label, _a, _p in configs],
         rows_b,
         title="Fig 10(b): average I/O latency (us) per workload",
     )

@@ -13,8 +13,9 @@ from typing import Dict, List
 from ..core import ArchPreset
 from ..workloads import make_msr_workload
 from .common import bench_durations, format_table, run_arch
+from .runner import PointSpec, run_points
 
-__all__ = ["run", "FIG11_TRACES", "CONFIGS"]
+__all__ = ["run", "trace_point", "FIG11_TRACES", "CONFIGS"]
 
 FIG11_TRACES = ("prn_0", "proj_0", "usr_0", "hm_0", "src2_0", "mds_0",
                 "rsrch_0", "wdev_0")
@@ -28,21 +29,37 @@ CONFIGS = (
 )
 
 
+def trace_point(trace: str, arch: str, quick: bool,
+                gc_policy: str = None) -> Dict[str, float]:
+    """p99 latency for one (trace, config) pair."""
+    windows = bench_durations(quick)
+    overrides = {"gc_policy": gc_policy} if gc_policy else {}
+    workload = make_msr_workload(trace, n_requests=1500, seed=8)
+    _ssd, result = run_arch(arch, workload,
+                            duration_us=windows["duration_us"],
+                            warmup_us=windows["warmup_us"],
+                            **overrides)
+    return {"p99_us": result.io_latency.p99}
+
+
 def run(quick: bool = True) -> Dict:
     """Run every (trace, config) pair; return p99 grids and ratios."""
-    windows = bench_durations(quick)
     traces = FIG11_TRACES[:4] if quick else FIG11_TRACES
+    specs = [
+        PointSpec.from_callable(
+            trace_point,
+            {"trace": trace, "arch": arch.value, "quick": quick,
+             "gc_policy": overrides.get("gc_policy")},
+            key=f"fig11:{trace}/{label}")
+        for trace in traces
+        for label, arch, overrides in CONFIGS
+    ]
+    points = iter(run_points(specs))
     p99: Dict[str, Dict[str, float]] = {}
     for trace in traces:
-        per_config = {}
-        for label, arch, overrides in CONFIGS:
-            workload = make_msr_workload(trace, n_requests=1500, seed=8)
-            _ssd, result = run_arch(arch, workload,
-                                    duration_us=windows["duration_us"],
-                                    warmup_us=windows["warmup_us"],
-                                    **overrides)
-            per_config[label] = result.io_latency.p99
-        p99[trace] = per_config
+        p99[trace] = {
+            label: next(points)["p99_us"] for label, _a, _o in CONFIGS
+        }
 
     rows: List[List] = [
         [trace] + [p99[trace][label] for label, _a, _o in CONFIGS]

@@ -14,20 +14,31 @@ from typing import Dict, List
 
 from ..core import ArchPreset, sim_geometry
 from .common import format_table, gc_burst_run
+from .runner import PointSpec, run_points
 
-__all__ = ["run", "RATIOS"]
+__all__ = ["run", "gc_perf_point", "RATIOS"]
 
 RATIOS = (0.5, 1.0, 2.0, 4.0)
 
 
-def _gc_perf(ratio: float, channels: int, ways: int, quick: bool) -> float:
+def gc_perf_point(ratio: float, channels: int, ways: int,
+                  quick: bool) -> Dict[str, float]:
+    """Isolated GC burst rate at one fabric/geometry combination."""
     geometry = sim_geometry(channels=channels, ways=ways, planes=4,
                             blocks_per_plane=12)
     _ssd, episode = gc_burst_run(
         ArchPreset.DSSD_F, quick=quick, geometry=geometry,
         fnoc_channel_bw=ratio * 1000.0,
     )
-    return episode["pages_per_us"]
+    return {"pages_per_us": episode["pages_per_us"]}
+
+
+def _spec(ratio, channels, ways, quick) -> PointSpec:
+    return PointSpec.from_callable(
+        gc_perf_point,
+        {"ratio": ratio, "channels": channels, "ways": ways,
+         "quick": quick},
+        key=f"fig12:{channels}ch/{ways}way/x{ratio}")
 
 
 def run(quick: bool = True) -> Dict:
@@ -35,15 +46,24 @@ def run(quick: bool = True) -> Dict:
     channel_counts = (4, 8) if quick else (4, 8, 16)
     way_counts = (1, 4) if quick else (1, 2, 4, 8)
 
+    specs = [
+        _spec(ratio, channels, 2, quick)
+        for channels in channel_counts for ratio in RATIOS
+    ] + [
+        _spec(ratio, 8, ways, quick)
+        for ways in way_counts for ratio in RATIOS
+    ]
+    points = iter(run_points(specs))
+
     part_a: Dict[int, List[float]] = {}
     for channels in channel_counts:
         part_a[channels] = [
-            _gc_perf(ratio, channels, 2, quick) for ratio in RATIOS
+            next(points)["pages_per_us"] for _ratio in RATIOS
         ]
     part_b: Dict[int, List[float]] = {}
     for ways in way_counts:
         part_b[ways] = [
-            _gc_perf(ratio, 8, ways, quick) for ratio in RATIOS
+            next(points)["pages_per_us"] for _ratio in RATIOS
         ]
 
     rows_a = [

@@ -16,8 +16,9 @@ from typing import Dict, List
 from ..core import ArchPreset
 from ..noc import Crossbar, Mesh1D, Ring
 from .common import format_table, gc_burst_run
+from .runner import PointSpec, run_points
 
-__all__ = ["run", "BISECTIONS", "BUFFER_DEPTHS"]
+__all__ = ["run", "topo_point", "BISECTIONS", "BUFFER_DEPTHS"]
 
 #: Bisection bandwidths in bytes/us (0.5 .. 4 GB/s).
 BISECTIONS = (500.0, 1000.0, 2000.0, 4000.0)
@@ -28,8 +29,9 @@ BUFFER_DEPTHS = (2, 8, 24, 64)
 _TOPOLOGIES = {"mesh1d": Mesh1D, "ring": Ring, "crossbar": Crossbar}
 
 
-def _gc_perf(topology: str, bisection: float, quick: bool,
-             buffer_flits: int = 16) -> float:
+def topo_point(topology: str, bisection: float, quick: bool,
+               buffer_flits: int = 16) -> Dict[str, float]:
+    """GC burst rate for one (topology, bisection, buffer) fabric."""
     channel_bw = _TOPOLOGIES[topology](8).channel_bandwidth_for_bisection(
         bisection
     )
@@ -39,24 +41,40 @@ def _gc_perf(topology: str, bisection: float, quick: bool,
         fnoc_channel_bw=channel_bw,
         fnoc_buffer_flits=buffer_flits,
     )
-    return episode["pages_per_us"]
+    return {"pages_per_us": episode["pages_per_us"]}
+
+
+def _spec(topology, bisection, quick, buffer_flits=16) -> PointSpec:
+    return PointSpec.from_callable(
+        topo_point,
+        {"topology": topology, "bisection": bisection, "quick": quick,
+         "buffer_flits": buffer_flits},
+        key=f"fig13:{topology}/Bb{bisection:g}/{buffer_flits}fl")
 
 
 def run(quick: bool = True) -> Dict:
     """Topology and buffer sweeps; returns pages/us grids."""
     bisections = BISECTIONS[:3] if quick else BISECTIONS
+    depths = BUFFER_DEPTHS[:3] if quick else BUFFER_DEPTHS
+    buffer_cases = (("scarce", 500.0), ("ample", 4000.0))
+    specs = [
+        _spec(topology, b, quick)
+        for topology in _TOPOLOGIES for b in bisections
+    ] + [
+        _spec("mesh1d", bisection, quick, buffer_flits=depth)
+        for _label, bisection in buffer_cases for depth in depths
+    ]
+    points = iter(run_points(specs))
+
     part_a: Dict[str, List[float]] = {}
     for topology in _TOPOLOGIES:
         part_a[topology] = [
-            _gc_perf(topology, b, quick) for b in bisections
+            next(points)["pages_per_us"] for _b in bisections
         ]
-
-    depths = BUFFER_DEPTHS[:3] if quick else BUFFER_DEPTHS
     part_b: Dict[str, Dict[int, float]] = {}
-    for label, bisection in (("scarce", 500.0), ("ample", 4000.0)):
+    for label, _bisection in buffer_cases:
         part_b[label] = {
-            depth: _gc_perf("mesh1d", bisection, quick, buffer_flits=depth)
-            for depth in depths
+            depth: next(points)["pages_per_us"] for depth in depths
         }
 
     rows_a = [

@@ -16,31 +16,62 @@ from ..core import ArchPreset, sim_geometry
 from ..superblock import run_endurance, simulate_was
 from ..workloads import SyntheticWorkload
 from .common import bench_durations, format_table
+from .runner import PointSpec, run_points
 
-__all__ = ["run", "SIGMAS", "SCAN_BLOCK_COUNTS"]
+__all__ = ["run", "endurance_point", "was_point", "scan_point",
+           "SIGMAS", "SCAN_BLOCK_COUNTS"]
 
 SIGMAS = (300.0, 600.0, 826.9, 1200.0)
 SCAN_BLOCK_COUNTS = (0, 2048, 8192, 32768)
 
 _ENDURANCE_KW = dict(n_superblocks=512, channels=8, seed=3)
 
+_THRESHOLD = 0.10
 
-def _part_a() -> Dict:
-    results = {
-        policy: run_endurance(policy=policy, **_ENDURANCE_KW)
-        for policy in ("baseline", "recycled", "reserv")
+
+def endurance_point(policy: str, pe_sigma: float = None,
+                    with_curve: bool = False) -> Dict:
+    """One endurance simulation: lifetime summary (and bad-block curve)."""
+    kwargs = dict(_ENDURANCE_KW)
+    if pe_sigma is not None:
+        kwargs["pe_sigma"] = pe_sigma
+    result = run_endurance(policy=policy, **kwargs)
+    point = {
+        "first_bad_bytes": result.first_bad_bytes,
+        "until_bytes": result.bytes_until_bad_fraction(_THRESHOLD),
+        "remap_events": result.remap_events,
     }
-    base = results["baseline"]
+    if with_curve:
+        point["curve"] = [[written, bad] for written, bad in result.curve]
+    return point
+
+
+def was_point(pe_sigma: float) -> Dict:
+    """The WAS software baseline's lifetime at one wear variation."""
+    was = simulate_was(pe_sigma=pe_sigma, **_ENDURANCE_KW)
+    return {"until_bytes": was.bytes_until_bad_fraction(_THRESHOLD)}
+
+
+def scan_point(n_blocks: int, quick: bool) -> Dict[str, float]:
+    """Mean I/O latency with one WAS RBER-scan intensity (part c)."""
+    windows = bench_durations(quick)
+    workload = SyntheticWorkload(pattern="seq_write", io_size=32768)
+    geometry = sim_geometry()
+    latency, _result = _build_with_scan(workload, geometry, n_blocks,
+                                        windows)
+    return {"mean_latency_us": latency}
+
+
+def _part_a(points: Dict[str, Dict]) -> Dict:
+    base = points["baseline"]
     rows: List[List] = []
-    threshold = 0.10
-    for policy, result in results.items():
-        until = result.bytes_until_bad_fraction(threshold)
+    for policy, point in points.items():
         rows.append([
             policy.upper(),
-            result.first_bad_bytes / 1e12,
-            until / 1e12,
-            until / base.bytes_until_bad_fraction(threshold),
-            result.remap_events,
+            point["first_bad_bytes"] / 1e12,
+            point["until_bytes"] / 1e12,
+            point["until_bytes"] / base["until_bytes"],
+            point["remap_events"],
         ])
     table = format_table(
         ["policy", "first bad (TB)", "until 10% bad (TB)",
@@ -49,30 +80,21 @@ def _part_a() -> Dict:
         title="Fig 14(a): lifetime under a continuous 128K write stream",
     )
     return {
-        "curves": {p: r.curve for p, r in results.items()},
+        "curves": {p: point["curve"] for p, point in points.items()},
         "rows": rows,
         "table": table,
     }
 
 
-def _part_b() -> Dict:
-    threshold = 0.10
+def _part_b(per_sigma: List[Dict[str, Dict]]) -> Dict:
     series: Dict[str, List[float]] = {"recycled": [], "reserv": [],
                                       "was": []}
-    for sigma in SIGMAS:
-        base = run_endurance(policy="baseline", pe_sigma=sigma,
-                             **_ENDURANCE_KW)
-        base_until = base.bytes_until_bad_fraction(threshold)
-        for policy in ("recycled", "reserv"):
-            result = run_endurance(policy=policy, pe_sigma=sigma,
-                                   **_ENDURANCE_KW)
+    for points in per_sigma:
+        base_until = points["baseline"]["until_bytes"]
+        for policy in ("recycled", "reserv", "was"):
             series[policy].append(
-                result.bytes_until_bad_fraction(threshold) / base_until
+                points[policy]["until_bytes"] / base_until
             )
-        was = simulate_was(pe_sigma=sigma, **_ENDURANCE_KW)
-        series["was"].append(
-            was.bytes_until_bad_fraction(threshold) / base_until
-        )
     rows = [
         [name] + values for name, values in series.items()
     ]
@@ -84,17 +106,8 @@ def _part_b() -> Dict:
     return {"series": series, "sigmas": list(SIGMAS), "table": table}
 
 
-def _part_c(quick: bool) -> Dict:
+def _part_c(scan_counts, latencies: List[float]) -> Dict:
     """WAS RBER scans steal front-end bandwidth from host I/O."""
-    windows = bench_durations(quick)
-    scan_counts = SCAN_BLOCK_COUNTS[:3] if quick else SCAN_BLOCK_COUNTS
-    latencies: List[float] = []
-    for n_blocks in scan_counts:
-        workload = SyntheticWorkload(pattern="seq_write", io_size=32768)
-        geometry = sim_geometry()
-        latency, _result = _build_with_scan(workload, geometry, n_blocks,
-                                            windows)
-        latencies.append(latency)
     rows = [["avg IO latency (us)"] + latencies]
     norm = [lat / max(latencies[0], 1e-9) for lat in latencies]
     rows.append(["normalized"] + norm)
@@ -166,9 +179,42 @@ def _build_with_scan(workload, geometry, n_blocks, windows):
 
 def run(quick: bool = True) -> Dict:
     """All three panels."""
-    a = _part_a()
-    b = _part_b()
-    c = _part_c(quick)
+    policies_a = ("baseline", "recycled", "reserv")
+    policies_b = ("baseline", "recycled", "reserv")
+    scan_counts = SCAN_BLOCK_COUNTS[:3] if quick else SCAN_BLOCK_COUNTS
+    specs = [
+        PointSpec.from_callable(endurance_point,
+                                {"policy": policy, "with_curve": True},
+                                key=f"fig14a:{policy}")
+        for policy in policies_a
+    ] + [
+        spec
+        for sigma in SIGMAS
+        for spec in (
+            [PointSpec.from_callable(
+                endurance_point, {"policy": policy, "pe_sigma": sigma},
+                key=f"fig14b:{policy}/s{sigma:g}")
+             for policy in policies_b]
+            + [PointSpec.from_callable(was_point, {"pe_sigma": sigma},
+                                       key=f"fig14b:was/s{sigma:g}")]
+        )
+    ] + [
+        PointSpec.from_callable(scan_point,
+                                {"n_blocks": n_blocks, "quick": quick},
+                                key=f"fig14c:{n_blocks}blk")
+        for n_blocks in scan_counts
+    ]
+    points = iter(run_points(specs))
+
+    a = _part_a({policy: next(points) for policy in policies_a})
+    per_sigma = []
+    for _sigma in SIGMAS:
+        by_policy = {policy: next(points) for policy in policies_b}
+        by_policy["was"] = next(points)
+        per_sigma.append(by_policy)
+    b = _part_b(per_sigma)
+    c = _part_c(scan_counts,
+                [next(points)["mean_latency_us"] for _n in scan_counts])
     return {
         "part_a": a,
         "part_b": b,

@@ -17,12 +17,13 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..core import ArchPreset, sim_geometry
-from ..flash import TLC_TIMING, ULL_TIMING
 from ..superblock import SrtRemapper, run_endurance
 from ..workloads import READ_INTENSIVE, WRITE_INTENSIVE, make_msr_workload
-from .common import bench_durations, format_table, run_arch
+from .common import bench_durations, decode_timing, format_table, run_arch
+from .runner import PointSpec, run_points
 
-__all__ = ["run", "SRT_ENTRY_COUNTS", "FIG15B_TRACES"]
+__all__ = ["run", "remap_latency_point", "trace_latency_point",
+           "endurance_gain_point", "SRT_ENTRY_COUNTS", "FIG15B_TRACES"]
 
 SRT_ENTRY_COUNTS = (0, 16, 64, 256)
 
@@ -30,37 +31,72 @@ FIG15B_TRACES = ("usr_2", "hm_1", "prn_1", "web_0",     # read-intensive
                  "prn_0", "src1_2", "mds_0", "rsrch_0")  # write-intensive
 
 
-def _latency_with_remap(entries: int, timing, pattern: str,
-                        quick: bool) -> float:
-    geometry = sim_geometry(page_size=timing.page_size)
+def remap_latency_point(entries: int, timing: str, pattern: str,
+                        quick: bool) -> Dict[str, float]:
+    """Mean latency with *entries* populated SRT remaps (part a)."""
+    flash_timing = decode_timing(timing)
+    geometry = sim_geometry(page_size=flash_timing.page_size)
     remapper = SrtRemapper(geometry, entries, seed=13) if entries else None
     windows = bench_durations(quick)
     from ..workloads import SyntheticWorkload
 
-    workload = SyntheticWorkload(pattern=pattern, io_size=timing.page_size)
+    workload = SyntheticWorkload(pattern=pattern,
+                                 io_size=flash_timing.page_size)
     _ssd, result = run_arch(ArchPreset.DSSD_F, workload,
                             duration_us=windows["duration_us"],
                             warmup_us=windows["warmup_us"],
-                            geometry=geometry, timing=timing,
+                            geometry=geometry, timing=flash_timing,
                             remapper=remapper)
-    return result.io_latency.mean
+    return {"mean_us": result.io_latency.mean}
+
+
+def trace_latency_point(trace: str, remap_entries: int,
+                        quick: bool) -> Dict[str, float]:
+    """Mean trace latency with/without the RESERV remapper (part b)."""
+    windows = bench_durations(quick)
+    geometry = sim_geometry()
+    remapper = (SrtRemapper(geometry, remap_entries, seed=17)
+                if remap_entries else None)
+    workload = make_msr_workload(trace, n_requests=1200, seed=6)
+    _ssd, result = run_arch(ArchPreset.DSSD_F, workload,
+                            duration_us=windows["duration_us"],
+                            warmup_us=windows["warmup_us"],
+                            geometry=geometry, remapper=remapper)
+    return {"mean_us": result.io_latency.mean}
+
+
+def endurance_gain_point() -> Dict[str, float]:
+    """RESERV's endurance gain over baseline (part b numerator)."""
+    base = run_endurance(policy="baseline", n_superblocks=256, seed=5)
+    reserv = run_endurance(policy="reserv", n_superblocks=256, seed=5)
+    return {"gain": (reserv.bytes_until_bad_fraction(0.10)
+                     / base.bytes_until_bad_fraction(0.10))}
+
+
+_PART_A_CASES = (
+    ("ULL/read", "ull", "rand_read"),
+    ("ULL/write", "ull", "rand_write"),
+    ("TLC/read", "tlc", "rand_read"),
+    ("TLC/write", "tlc", "rand_write"),
+)
 
 
 def _part_a(quick: bool) -> Dict:
     counts = SRT_ENTRY_COUNTS[:3] if quick else SRT_ENTRY_COUNTS
+    shown = _PART_A_CASES[:2] if quick else _PART_A_CASES
+    specs = [
+        PointSpec.from_callable(
+            remap_latency_point,
+            {"entries": entries, "timing": timing, "pattern": pattern,
+             "quick": quick},
+            key=f"fig15a:{label}/{entries}e")
+        for label, timing, pattern in shown
+        for entries in counts
+    ]
+    points = iter(run_points(specs))
     grid: Dict[str, List[float]] = {}
-    cases = (
-        ("ULL/read", ULL_TIMING, "rand_read"),
-        ("ULL/write", ULL_TIMING, "rand_write"),
-        ("TLC/read", TLC_TIMING, "rand_read"),
-        ("TLC/write", TLC_TIMING, "rand_write"),
-    )
-    shown = cases[:2] if quick else cases
-    for label, timing, pattern in shown:
-        latencies = [
-            _latency_with_remap(entries, timing, pattern, quick)
-            for entries in counts
-        ]
+    for label, _timing, _pattern in shown:
+        latencies = [next(points)["mean_us"] for _entries in counts]
         base = max(latencies[0], 1e-9)
         grid[label] = [lat / base for lat in latencies]
     rows = [[label] + values for label, values in grid.items()]
@@ -75,15 +111,22 @@ def _part_a(quick: bool) -> Dict:
 
 def _part_b(quick: bool) -> Dict:
     """Endurance / performance-overhead metric per trace."""
-    endurance_gain = _reserv_endurance_gain()
-    windows = bench_durations(quick)
     traces = FIG15B_TRACES[:4] if quick else FIG15B_TRACES
-    geometry = sim_geometry()
+    specs = [PointSpec.from_callable(endurance_gain_point, {},
+                                     key="fig15b:endurance_gain")]
+    for trace in traces:
+        for entries in (0, 64):
+            specs.append(PointSpec.from_callable(
+                trace_latency_point,
+                {"trace": trace, "remap_entries": entries,
+                 "quick": quick},
+                key=f"fig15b:{trace}/{entries}e"))
+    points = iter(run_points(specs))
+    endurance_gain = next(points)["gain"]
     metric: Dict[str, float] = {}
     for trace in traces:
-        base_lat = _trace_latency(trace, geometry, None, windows)
-        remapper = SrtRemapper(geometry, 64, seed=17)
-        reserv_lat = _trace_latency(trace, geometry, remapper, windows)
+        base_lat = next(points)["mean_us"]
+        reserv_lat = next(points)["mean_us"]
         overhead = reserv_lat / max(base_lat, 1e-9)
         metric[trace] = endurance_gain / max(overhead, 1e-9)
     read_group = [metric[t] for t in traces if t in READ_INTENSIVE]
@@ -105,22 +148,6 @@ def _part_b(quick: bool) -> Dict:
     )
     return {"metric": metric, "endurance_gain": endurance_gain,
             "table": table}
-
-
-def _trace_latency(trace, geometry, remapper, windows) -> float:
-    workload = make_msr_workload(trace, n_requests=1200, seed=6)
-    _ssd, result = run_arch(ArchPreset.DSSD_F, workload,
-                            duration_us=windows["duration_us"],
-                            warmup_us=windows["warmup_us"],
-                            geometry=geometry, remapper=remapper)
-    return result.io_latency.mean
-
-
-def _reserv_endurance_gain() -> float:
-    base = run_endurance(policy="baseline", n_superblocks=256, seed=5)
-    reserv = run_endurance(policy="reserv", n_superblocks=256, seed=5)
-    return (reserv.bytes_until_bad_fraction(0.10)
-            / base.bytes_until_bad_fraction(0.10))
 
 
 def run(quick: bool = True) -> Dict:

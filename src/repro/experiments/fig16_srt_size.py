@@ -16,30 +16,69 @@ from typing import Dict, List
 
 from ..superblock import run_endurance
 from .common import format_table
+from .runner import PointSpec, run_points
 
-__all__ = ["run", "SRT_CAPACITIES", "DEVICE_SIZES"]
+__all__ = ["run", "capacity_point", "occupancy_point",
+           "SRT_CAPACITIES", "DEVICE_SIZES"]
 
 SRT_CAPACITIES = (8, 32, 128, 512, None)
 DEVICE_SIZES = (256, 512, 1024)
+
+
+def capacity_point(policy: str, n_superblocks: int, srt_capacity: int,
+                   threshold: float, seed: int = 5) -> Dict:
+    """Lifetime at one (policy, device size, SRT capacity) corner."""
+    result = run_endurance(policy=policy, n_superblocks=n_superblocks,
+                           srt_capacity=srt_capacity, seed=seed)
+    return {"until_bytes": result.bytes_until_bad_fraction(threshold)}
+
+
+def occupancy_point(policy: str, n_superblocks: int,
+                    seed: int = 5) -> Dict:
+    """Channel-0 SRT occupancy log with an unbounded table (part b)."""
+    result = run_endurance(policy=policy, srt_capacity=None,
+                           n_superblocks=n_superblocks, seed=seed)
+    return {
+        "occupancy": [[event, active]
+                      for event, active in result.srt_occupancy[0]],
+        "max_active": result.max_active_srt_entries,
+    }
 
 
 def run(quick: bool = True) -> Dict:
     """Capacity x device-size sweep plus the occupancy curve."""
     sizes = DEVICE_SIZES[:2] if quick else DEVICE_SIZES
     threshold = 0.30
+    specs = []
+    for n_superblocks in sizes:
+        specs.append(PointSpec.from_callable(
+            capacity_point,
+            {"policy": "baseline", "n_superblocks": n_superblocks,
+             "srt_capacity": 1024, "threshold": threshold},
+            key=f"fig16a:base/{n_superblocks}sb"))
+        for capacity in SRT_CAPACITIES:
+            specs.append(PointSpec.from_callable(
+                capacity_point,
+                {"policy": "recycled", "n_superblocks": n_superblocks,
+                 "srt_capacity": capacity, "threshold": threshold},
+                key=f"fig16a:recycled/{n_superblocks}sb/"
+                    f"{capacity or 'inf'}e"))
+    specs += [
+        PointSpec.from_callable(
+            occupancy_point,
+            {"policy": policy, "n_superblocks": sizes[-1]},
+            key=f"fig16b:{policy}")
+        for policy in ("recycled", "reserv")
+    ]
+    points = iter(run_points(specs))
+
     grid: Dict[int, List[float]] = {}
     for n_superblocks in sizes:
-        base = run_endurance(policy="baseline",
-                             n_superblocks=n_superblocks, seed=5)
-        base_until = base.bytes_until_bad_fraction(threshold)
-        row = []
-        for capacity in SRT_CAPACITIES:
-            result = run_endurance(policy="recycled",
-                                   n_superblocks=n_superblocks,
-                                   srt_capacity=capacity, seed=5)
-            row.append(result.bytes_until_bad_fraction(threshold)
-                       / base_until)
-        grid[n_superblocks] = row
+        base_until = next(points)["until_bytes"]
+        grid[n_superblocks] = [
+            next(points)["until_bytes"] / base_until
+            for _capacity in SRT_CAPACITIES
+        ]
     rows_a = [
         [f"{n} superblocks"] + grid[n] for n in sizes
     ]
@@ -52,12 +91,10 @@ def run(quick: bool = True) -> Dict:
     )
 
     # (b) occupancy with an infinite SRT.
-    result = run_endurance(policy="recycled", srt_capacity=None,
-                           n_superblocks=sizes[-1], seed=5)
-    occupancy = result.srt_occupancy[0]
-    reserv = run_endurance(policy="reserv", srt_capacity=None,
-                           n_superblocks=sizes[-1], seed=5)
-    occupancy_reserv = reserv.srt_occupancy[0]
+    recycled = next(points)
+    reserv = next(points)
+    occupancy = recycled["occupancy"]
+    occupancy_reserv = reserv["occupancy"]
     sample = occupancy[:: max(1, len(occupancy) // 8)]
     rows_b = [[event, active] for event, active in sample]
     table_b = format_table(
@@ -71,8 +108,8 @@ def run(quick: bool = True) -> Dict:
         "capacities": list(SRT_CAPACITIES),
         "occupancy_recycled": occupancy,
         "occupancy_reserv": occupancy_reserv,
-        "max_active_recycled": result.max_active_srt_entries,
-        "max_active_reserv": reserv.max_active_srt_entries,
+        "max_active_recycled": recycled["max_active"],
+        "max_active_reserv": reserv["max_active"],
         "table": table_a + "\n\n" + table_b,
     }
 

@@ -1,0 +1,481 @@
+"""Parallel experiment runner: point specs, worker pools, result cache.
+
+Every paper figure is a sweep over **independent** simulation points —
+(architecture, workload, overrides) combinations whose results are
+combined into tables only after all points exist.  This module turns
+that independence into wall-clock speed and incremental iteration:
+
+**Point specs.**  A :class:`PointSpec` is a picklable, JSON-able
+description of one simulation point: a dotted ``"module:function"``
+path (``fn``) plus a mapping of keyword arguments (``params``).  The
+referenced *point function* must be a module-level callable that
+accepts ``**params`` and returns a plain-data dict (numbers, strings,
+lists, dicts — nothing that cannot survive a JSON round trip).  Each
+``figXX`` module declares its sweep as a list of specs and hands them
+to :func:`run_points` instead of looping inline.
+
+**Execution.**  :func:`run_points` fans the specs out over a
+``multiprocessing`` pool (``jobs`` workers, default taken from the
+active :class:`RunnerConfig`).  ``jobs=1`` is a deterministic serial
+fallback that never touches ``multiprocessing``.  Results are returned
+in spec order regardless of completion order, and every result — cached
+or freshly computed, serial or parallel — is passed through a JSON
+round trip so the assembled tables are byte-identical across modes.
+
+**Result cache.**  Results are content-addressed under
+:func:`cache_dir` (``~/.cache/repro-dssd/`` by default, overridable via
+``REPRO_DSSD_CACHE_DIR``; ``REPRO_DSSD_CACHE=0`` force-disables).  The
+key is the SHA-256 of the canonical JSON of ``(schema, package version,
+fn, params)`` — change *any* override, duration, seed, or the package
+version and the key changes; nothing else is consulted.  Corrupt or
+mismatched entries are deleted and recomputed, never propagated.  The
+cache stores **point** results, not figure tables, so iterating on one
+figure's assembly logic reuses every already-simulated point.
+
+**Metrics.**  A :class:`RunnerMetrics` (built on
+:class:`~repro.sim.stats.LatencyStats` and
+:class:`~repro.sim.stats.Counter`) accumulates per-point wall time,
+cache hit/miss counts, and worker-pool utilization; ``cli.py`` prints
+its one-line summary after each figure and ``report.py`` can flatten it
+into CSV rows.
+
+Typical use::
+
+    from repro.experiments import runner
+
+    specs = [runner.PointSpec.from_callable(my_point, {"x": x})
+             for x in sweep]
+    with runner.configured(jobs=8, cache=True):
+        results = runner.run_points(specs)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from .. import __version__
+from ..errors import ConfigError
+from ..sim.stats import Counter, LatencyStats
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "PointSpec",
+    "RunnerConfig",
+    "RunnerMetrics",
+    "active_config",
+    "cache_dir",
+    "clear_cache",
+    "configured",
+    "default_jobs",
+    "run_points",
+]
+
+#: Bump when the cache entry layout changes; old entries stop matching.
+CACHE_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# Point specs
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One independent simulation point of a figure's sweep.
+
+    ``fn`` is a ``"package.module:function"`` path to a module-level
+    point function; ``params`` are its keyword arguments and must be
+    JSON-able (the cache key is derived from them).  ``key`` is a
+    human-readable label for progress lines — it does not affect the
+    cache key or the result.
+    """
+
+    fn: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    key: str = ""
+
+    @classmethod
+    def from_callable(cls, func: Callable, params: Optional[Mapping] = None,
+                      key: str = "") -> "PointSpec":
+        """Spec for a module-level *func* (resolved back by import path)."""
+        return cls(fn=f"{func.__module__}:{func.__qualname__}",
+                   params=dict(params or {}), key=key)
+
+    @property
+    def label(self) -> str:
+        """Progress label: the explicit key, else the function name."""
+        return self.key or self.fn.rsplit(":", 1)[-1]
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this point's result."""
+        payload = _canonical({
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "fn": self.fn,
+            "params": dict(self.params),
+        })
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def resolve(self) -> Callable:
+        """Import and return the point function behind ``fn``."""
+        module_name, _, func_name = self.fn.partition(":")
+        if not module_name or not func_name:
+            raise ConfigError(
+                f"point fn must be 'module:function', got {self.fn!r}"
+            )
+        module = importlib.import_module(module_name)
+        func = module
+        for part in func_name.split("."):
+            func = getattr(func, part)
+        if not callable(func):
+            raise ConfigError(f"point fn {self.fn!r} is not callable")
+        return func
+
+
+def _canonical(obj: Any) -> str:
+    """Deterministic JSON rendering used for hashing."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _normalize(result: Any) -> Any:
+    """JSON round trip: what a cache hit would return.
+
+    Applied to *every* result (fresh or cached, serial or parallel) so
+    tables assembled downstream are byte-identical across modes.
+    """
+    return json.loads(json.dumps(result))
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+
+
+class RunnerMetrics:
+    """Harness-level counters: cache traffic, point wall times, pool use.
+
+    Wall times accumulate in a :class:`~repro.sim.stats.LatencyStats`
+    (seconds, not simulated microseconds) and cache/point counts in a
+    :class:`~repro.sim.stats.Counter`, so the reporting primitives are
+    shared with the simulator's own measurements.
+    """
+
+    def __init__(self) -> None:
+        self.counters = Counter()
+        self.point_wall_s = LatencyStats("point_wall_s")
+        self.batch_wall_s = 0.0
+        self.busy_s = 0.0
+        self.max_jobs = 0
+
+    def record_hit(self) -> None:
+        """One point served from the result cache."""
+        self.counters.incr("cache_hits")
+        self.counters.incr("points")
+
+    def record_computed(self, elapsed_s: float) -> None:
+        """One point actually simulated, taking *elapsed_s* seconds."""
+        self.counters.incr("cache_misses")
+        self.counters.incr("points")
+        self.point_wall_s.add(elapsed_s)
+        self.busy_s += elapsed_s
+
+    def record_batch(self, wall_s: float, jobs: int) -> None:
+        """One :func:`run_points` compute phase finished."""
+        self.counters.incr("batches")
+        self.batch_wall_s += wall_s
+        self.max_jobs = max(self.max_jobs, jobs)
+
+    @property
+    def points(self) -> int:
+        """Total points requested (hits + misses)."""
+        return int(self.counters.get("points"))
+
+    @property
+    def cache_hits(self) -> int:
+        """Points served from cache."""
+        return int(self.counters.get("cache_hits"))
+
+    @property
+    def cache_misses(self) -> int:
+        """Points actually simulated."""
+        return int(self.counters.get("cache_misses"))
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker-pool's capacity spent simulating.
+
+        ``busy / (wall * jobs)``: 1.0 means every worker was busy for
+        the whole compute phase; low values mean stragglers or tiny
+        sweeps.  0.0 when nothing was computed.
+        """
+        if self.batch_wall_s <= 0 or self.max_jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / (self.batch_wall_s * self.max_jobs))
+
+    def merge(self, other: "RunnerMetrics") -> None:
+        """Fold *other*'s counts into this accumulator."""
+        self.counters.merge(other.counters)
+        self.point_wall_s.merge(other.point_wall_s)
+        self.batch_wall_s += other.batch_wall_s
+        self.busy_s += other.busy_s
+        self.max_jobs = max(self.max_jobs, other.max_jobs)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline harness metrics."""
+        return {
+            "points": float(self.points),
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "wall_s": self.batch_wall_s,
+            "busy_s": self.busy_s,
+            "jobs": float(self.max_jobs),
+            "utilization": self.utilization,
+            "point_mean_s": self.point_wall_s.mean,
+            "point_max_s": self.point_wall_s.max,
+        }
+
+    def format_line(self) -> str:
+        """One-line human summary for the CLI."""
+        if self.points == 0:
+            return "0 points"
+        line = (f"{self.points} points: {self.cache_misses} computed, "
+                f"{self.cache_hits} cached")
+        if self.cache_misses:
+            line += (f"; wall {self.batch_wall_s:.1f}s, busy "
+                     f"{self.busy_s:.1f}s on {self.max_jobs} worker"
+                     f"{'s' if self.max_jobs != 1 else ''} "
+                     f"({self.utilization * 100.0:.0f}% util)")
+        return line
+
+
+# ---------------------------------------------------------------------------
+# Runner configuration (what the CLI sets, what figures inherit)
+
+
+def default_jobs() -> int:
+    """Worker count when none is configured: every CPU core."""
+    return os.cpu_count() or 1
+
+
+@dataclass
+class RunnerConfig:
+    """Active harness settings inherited by :func:`run_points`.
+
+    ``figXX.run()`` keeps its ``run(quick=True)`` signature; the CLI
+    (or a test) scopes jobs/cache/progress around it with
+    :func:`configured` instead of threading arguments through every
+    module.
+    """
+
+    jobs: int = 1
+    cache: bool = False
+    progress: bool = False
+    metrics: Optional[RunnerMetrics] = None
+
+
+_ACTIVE = RunnerConfig()
+
+
+def active_config() -> RunnerConfig:
+    """The currently-scoped :class:`RunnerConfig`."""
+    return _ACTIVE
+
+
+@contextmanager
+def configured(jobs: Optional[int] = None, cache: Optional[bool] = None,
+               progress: Optional[bool] = None,
+               metrics: Optional[RunnerMetrics] = None):
+    """Scope harness settings for the duration of a ``with`` block.
+
+    Unspecified fields keep their surrounding values, so nested scopes
+    compose (e.g. a test forcing ``cache=False`` inside a configured
+    CLI run).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = replace(
+        previous,
+        **{name: value for name, value in (
+            ("jobs", jobs), ("cache", cache), ("progress", progress),
+            ("metrics", metrics)) if value is not None},
+    )
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+
+
+def cache_dir() -> Path:
+    """Cache root: ``$REPRO_DSSD_CACHE_DIR``, else XDG, else ``~/.cache``."""
+    override = os.environ.get("REPRO_DSSD_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-dssd"
+
+
+def _cache_enabled(flag: bool) -> bool:
+    """``REPRO_DSSD_CACHE=0`` force-disables caching (e.g. in CI)."""
+    if os.environ.get("REPRO_DSSD_CACHE", "") == "0":
+        return False
+    return flag
+
+
+def _cache_path(key: str) -> Path:
+    return cache_dir() / key[:2] / f"{key}.json"
+
+
+def _cache_load(spec: PointSpec) -> Optional[Any]:
+    """Cached result for *spec*, or None.
+
+    Any unreadable, unparsable, or mismatched entry (truncated write,
+    hash collision, stale schema) is deleted and treated as a miss.
+    """
+    path = _cache_path(spec.cache_key())
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        if (entry["fn"] != spec.fn
+                or entry["params"] != _normalize(dict(spec.params))):
+            raise ValueError("cache entry does not match spec")
+        return entry["result"]
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, TypeError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def _cache_store(spec: PointSpec, result: Any, elapsed_s: float) -> None:
+    """Atomically persist one point result (best effort: IO errors pass)."""
+    path = _cache_path(spec.cache_key())
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({
+                "fn": spec.fn,
+                "params": _normalize(dict(spec.params)),
+                "result": result,
+                "elapsed_s": elapsed_s,
+                "version": __version__,
+            }, handle)
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+def clear_cache() -> int:
+    """Delete every cached point result; returns the number removed."""
+    removed = 0
+    root = cache_dir()
+    if not root.is_dir():
+        return 0
+    for path in root.glob("*/*.json"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# Execution
+
+
+def _execute(spec: PointSpec):
+    """Worker body: resolve, run, normalize, time one point."""
+    func = spec.resolve()
+    started = time.perf_counter()
+    result = _normalize(func(**dict(spec.params)))
+    return result, time.perf_counter() - started
+
+
+def _pool_task(payload):
+    """Top-level (picklable) pool entry: ``(index, spec) -> (index, ...)``."""
+    index, spec = payload
+    result, elapsed = _execute(spec)
+    return index, result, elapsed
+
+
+def _progress(message: str, enabled: bool) -> None:
+    if enabled:
+        print(message, file=sys.stderr, flush=True)
+
+
+def run_points(specs: Sequence[PointSpec], *, jobs: Optional[int] = None,
+               cache: Optional[bool] = None,
+               progress: Optional[bool] = None,
+               metrics: Optional[RunnerMetrics] = None) -> List[Any]:
+    """Execute every spec; return results **in spec order**.
+
+    Arguments left as ``None`` inherit the active :class:`RunnerConfig`
+    (see :func:`configured`).  Cached points never enter the pool; with
+    one pending point or ``jobs=1`` execution is plain serial in this
+    process, which is the deterministic reference mode.
+    """
+    config = active_config()
+    jobs = config.jobs if jobs is None else jobs
+    jobs = default_jobs() if not jobs or jobs < 1 else jobs
+    use_cache = _cache_enabled(config.cache if cache is None else cache)
+    show = config.progress if progress is None else progress
+    metrics = config.metrics if metrics is None else metrics
+    metrics = metrics if metrics is not None else RunnerMetrics()
+
+    results: List[Any] = [None] * len(specs)
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        hit = _cache_load(spec) if use_cache else None
+        if hit is not None:
+            results[index] = hit
+            metrics.record_hit()
+            _progress(f"  [{index + 1}/{len(specs)}] {spec.label}: cached",
+                      show)
+        else:
+            pending.append(index)
+
+    if not pending:
+        return results
+
+    started = time.perf_counter()
+    workers = min(jobs, len(pending))
+
+    def _finish(index: int, result: Any, elapsed: float, done: int) -> None:
+        results[index] = result
+        metrics.record_computed(elapsed)
+        if use_cache:
+            _cache_store(specs[index], result, elapsed)
+        _progress(f"  [{done}/{len(pending)}] {specs[index].label}: "
+                  f"{elapsed:.1f}s", show)
+
+    if workers <= 1:
+        for done, index in enumerate(pending, start=1):
+            result, elapsed = _execute(specs[index])
+            _finish(index, result, elapsed, done)
+    else:
+        payloads = [(index, specs[index]) for index in pending]
+        with multiprocessing.Pool(processes=workers) as pool:
+            done = 0
+            for index, result, elapsed in pool.imap_unordered(
+                    _pool_task, payloads):
+                done += 1
+                _finish(index, result, elapsed, done)
+    metrics.record_batch(time.perf_counter() - started, workers)
+    return results

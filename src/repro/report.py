@@ -8,6 +8,10 @@ a small, dependency-free exporter:
 * :func:`to_csv` / :func:`to_json` -- string renderers;
 * :func:`run_result_row` -- one flat row per
   :class:`~repro.core.RunResult` for sweep tables;
+* :func:`runner_metrics_row` -- one flat row per
+  :class:`~repro.experiments.runner.RunnerMetrics` (cache hit/miss
+  counters, point wall times, worker utilization) so harness
+  performance lands in the same CSVs as the simulated results;
 * :func:`series_csv` -- (x, y...) columns for timeline/curve data.
 """
 
@@ -18,7 +22,8 @@ import json
 import math
 from typing import Any, Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["flatten", "to_csv", "to_json", "run_result_row", "series_csv"]
+__all__ = ["flatten", "to_csv", "to_json", "run_result_row",
+           "runner_metrics_row", "series_csv"]
 
 _SCALARS = (int, float, str, bool, type(None))
 
@@ -108,6 +113,21 @@ def run_result_row(result, label: str = "") -> Dict[str, Any]:
         row[f"io_breakdown.{component}"] = value
     for component, value in result.gc_breakdown.as_dict().items():
         row[f"gc_breakdown.{component}"] = value
+    return row
+
+
+def runner_metrics_row(metrics, label: str = "") -> Dict[str, Any]:
+    """One flat row of a parallel-runner metrics accumulator.
+
+    *metrics* is a :class:`~repro.experiments.runner.RunnerMetrics`;
+    the row carries its cache counters, wall/busy seconds, worker
+    utilization, and the per-point wall-time distribution (p50/p99 via
+    the shared :class:`~repro.sim.stats.LatencyStats` machinery).
+    """
+    row: Dict[str, Any] = {"label": label or "runner"}
+    row.update(metrics.summary())
+    row["point_p50_s"] = metrics.point_wall_s.p50
+    row["point_p99_s"] = metrics.point_wall_s.p99
     return row
 
 

@@ -2,7 +2,11 @@
 
 Everything the experiment harness reports -- bandwidth timelines,
 utilization, tail latency -- is collected through these classes so that
-model code stays free of reporting concerns.
+model code stays free of reporting concerns.  The same primitives back
+the parallel runner's own metrics (:mod:`repro.experiments.runner`):
+:class:`LatencyStats` records per-point wall times and :class:`Counter`
+tallies cache hits/misses, so simulated and harness measurements share
+one reporting path.
 """
 
 from __future__ import annotations
@@ -14,9 +18,15 @@ __all__ = ["LatencyStats", "TimeBins", "Counter", "percentile"]
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Linear-interpolated percentile of an ascending-sorted sequence.
+    """Linear-interpolated percentile of an **ascending-sorted** sequence.
 
-    ``fraction`` is in ``[0, 1]`` (0.99 for the paper's 99 % tail).
+    Uses the inclusive linear-interpolation definition (rank
+    ``fraction * (n - 1)``, numpy's default ``"linear"`` method), so
+    ``fraction=0.0`` / ``1.0`` return the smallest / largest sample
+    exactly.  ``fraction`` is in ``[0, 1]`` -- pass 0.99 for the
+    paper's 99 % tail.  Raises :class:`ValueError` on an empty
+    sequence or an out-of-range fraction; the input order is **not**
+    verified, callers must sort first (:meth:`LatencyStats.pct` does).
     """
     if not sorted_values:
         raise ValueError("percentile of empty sequence")
@@ -34,7 +44,16 @@ def percentile(sorted_values: Sequence[float], fraction: float) -> float:
 
 
 class LatencyStats:
-    """Accumulates latency samples and reports summary statistics."""
+    """Accumulates samples and reports summary statistics.
+
+    Units are the caller's: simulated request latencies arrive in
+    microseconds, the experiment runner's per-point wall times in
+    seconds.  Aggregates (:attr:`mean`, :attr:`max`, :attr:`min`,
+    :meth:`pct`) return ``0.0`` on an empty recorder rather than
+    raising, so report tables render before any sample lands.  The
+    sorted view backing :meth:`pct` is cached and invalidated on every
+    :meth:`add`/:meth:`extend`/:meth:`merge`.
+    """
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -53,6 +72,10 @@ class LatencyStats:
         self._samples.extend(values)
         self._sum += sum(values)
         self._sorted = None
+
+    def merge(self, other: "LatencyStats") -> None:
+        """Fold *other*'s samples into this recorder (it keeps its own)."""
+        self.extend(other._samples)
 
     @property
     def count(self) -> int:
@@ -184,6 +207,11 @@ class Counter:
     def get(self, key: str) -> float:
         """Current value of counter *key* (0.0 if never incremented)."""
         return self._counts.get(key, 0.0)
+
+    def merge(self, other: "Counter") -> None:
+        """Add every counter of *other* into this bag."""
+        for key, amount in other._counts.items():
+            self.incr(key, amount)
 
     def as_dict(self) -> Dict[str, float]:
         """Snapshot of all counters."""

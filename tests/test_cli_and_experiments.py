@@ -31,6 +31,46 @@ def test_cli_rejects_unknown_experiment():
         main(["fig99"])
 
 
+def test_cli_accepts_runner_flags(capsys):
+    assert main(["table3", "--jobs", "2", "--no-cache",
+                 "--progress"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+
+
+def test_cli_help_documents_runner_flags(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    assert "--jobs" in out
+    assert "--no-cache" in out
+    assert "repro-dssd" in out
+
+
+def test_cli_rejects_bad_jobs_value():
+    with pytest.raises(SystemExit):
+        main(["table3", "--jobs", "many"])
+
+
+def test_every_experiment_module_exposes_point_specs():
+    """Each sweep module's point functions resolve through PointSpec."""
+    import inspect
+
+    from repro.experiments.runner import PointSpec
+
+    for name, module in EXPERIMENTS.items():
+        if name == "table3":  # static table, no simulation points
+            continue
+        points = [obj for obj_name, obj in vars(module).items()
+                  if inspect.isfunction(obj)
+                  and obj.__module__ == module.__name__
+                  and obj_name.endswith("_point")]
+        assert points, f"{name} declares no point functions"
+        for func in points:
+            spec = PointSpec.from_callable(func, {})
+            assert spec.resolve() is func
+
+
 def test_format_table_alignment():
     table = format_table(["a", "long_header"], [[1, 2.5], ["xx", 0.001]],
                          title="T")

@@ -1,0 +1,240 @@
+"""Tests for the parallel experiment runner and its result cache."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import runner
+from repro.experiments.runner import (
+    PointSpec,
+    RunnerMetrics,
+    configured,
+    run_points,
+)
+
+
+def square_point(x, scale=1.0):
+    """Cheap deterministic point function used throughout these tests."""
+    return {"x": x, "value": x * x * scale, "tag": f"sq{x}"}
+
+
+def bad_point():
+    raise RuntimeError("boom")
+
+
+SQUARE = PointSpec.from_callable(square_point, {"x": 3})
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Point the result cache at a throwaway directory."""
+    monkeypatch.setenv("REPRO_DSSD_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_DSSD_CACHE", raising=False)
+    return tmp_path
+
+
+# ---------------------------------------------------------------------------
+# PointSpec
+
+
+def test_from_callable_resolves_back():
+    assert SQUARE.fn == "tests.test_runner:square_point"
+    assert SQUARE.resolve() is square_point
+
+
+def test_label_prefers_key():
+    assert SQUARE.label == "square_point"
+    assert PointSpec.from_callable(square_point, {}, key="fig0:a").label \
+        == "fig0:a"
+
+
+def test_resolve_rejects_malformed_fn():
+    with pytest.raises(ConfigError):
+        PointSpec(fn="no-colon-here").resolve()
+
+
+def test_cache_key_is_stable_and_param_sensitive():
+    a = PointSpec.from_callable(square_point, {"x": 3, "scale": 1.0})
+    b = PointSpec.from_callable(square_point, {"scale": 1.0, "x": 3})
+    assert a.cache_key() == b.cache_key()  # order-insensitive
+    # Changing any override changes the key.
+    assert a.cache_key() != PointSpec.from_callable(
+        square_point, {"x": 3, "scale": 2.0}).cache_key()
+    assert a.cache_key() != PointSpec.from_callable(
+        square_point, {"x": 4, "scale": 1.0}).cache_key()
+    # A different point function never collides with the same params.
+    assert a.cache_key() != PointSpec(
+        fn="tests.test_runner:bad_point",
+        params={"x": 3, "scale": 1.0}).cache_key()
+    # The display key does NOT affect the cache key.
+    assert a.cache_key() == PointSpec.from_callable(
+        square_point, {"x": 3, "scale": 1.0}, key="pretty").cache_key()
+
+
+# ---------------------------------------------------------------------------
+# Serial vs parallel equality
+
+
+def _sweep(n=6):
+    return [PointSpec.from_callable(square_point, {"x": x, "scale": 0.5})
+            for x in range(n)]
+
+
+def test_serial_matches_parallel_on_small_sweep(cache_dir):
+    serial = run_points(_sweep(), jobs=1, cache=False)
+    parallel = run_points(_sweep(), jobs=3, cache=False)
+    assert serial == parallel
+    assert [r["x"] for r in serial] == list(range(6))  # spec order kept
+
+
+def test_serial_matches_parallel_on_real_endurance_points(cache_dir):
+    from repro.experiments.fig16_srt_size import capacity_point
+
+    specs = [
+        PointSpec.from_callable(
+            capacity_point,
+            {"policy": policy, "n_superblocks": 64,
+             "srt_capacity": 32, "threshold": 0.30})
+        for policy in ("baseline", "recycled", "reserv")
+    ]
+    serial = run_points(specs, jobs=1, cache=False)
+    parallel = run_points(specs, jobs=2, cache=False)
+    assert serial == parallel
+    assert all(p["until_bytes"] > 0 for p in serial)
+
+
+def test_results_are_json_normalized_in_both_modes():
+    spec = PointSpec.from_callable(tuple_point, {})
+    serial, = run_points([spec], jobs=1, cache=False)
+    parallel, = run_points([spec, spec], jobs=2, cache=False)[:1]
+    assert serial == parallel == {"pair": [1, 2]}  # tuple -> list
+
+
+def tuple_point():
+    return {"pair": (1, 2)}
+
+
+# ---------------------------------------------------------------------------
+# Cache behavior
+
+
+def test_cache_hit_returns_identical_dict(cache_dir):
+    metrics = RunnerMetrics()
+    first, = run_points([SQUARE], jobs=1, cache=True, metrics=metrics)
+    second, = run_points([SQUARE], jobs=1, cache=True, metrics=metrics)
+    assert first == second
+    assert metrics.cache_misses == 1
+    assert metrics.cache_hits == 1
+    assert list(cache_dir.glob("*/*.json"))
+
+
+def test_cache_key_changes_recompute(cache_dir):
+    metrics = RunnerMetrics()
+    run_points([SQUARE], jobs=1, cache=True, metrics=metrics)
+    changed = PointSpec.from_callable(square_point, {"x": 3, "scale": 9.0})
+    result, = run_points([changed], jobs=1, cache=True, metrics=metrics)
+    assert result["value"] == 81.0
+    assert metrics.cache_misses == 2
+    assert metrics.cache_hits == 0
+
+
+def test_corrupted_cache_entry_is_discarded(cache_dir):
+    run_points([SQUARE], jobs=1, cache=True)
+    path, = cache_dir.glob("*/*.json")
+    path.write_text("{ not json at all")
+    metrics = RunnerMetrics()
+    result, = run_points([SQUARE], jobs=1, cache=True, metrics=metrics)
+    assert result == {"x": 3, "value": 9.0, "tag": "sq3"}
+    assert metrics.cache_misses == 1  # recomputed, not crashed
+    # The corrupt file was replaced by a fresh valid entry.
+    entry = json.loads(path.read_text())
+    assert entry["result"] == result
+
+
+def test_mismatched_cache_entry_is_discarded(cache_dir):
+    run_points([SQUARE], jobs=1, cache=True)
+    path, = cache_dir.glob("*/*.json")
+    entry = json.loads(path.read_text())
+    entry["params"] = {"x": 999}  # simulate a hash collision
+    path.write_text(json.dumps(entry))
+    result, = run_points([SQUARE], jobs=1, cache=True)
+    assert result["x"] == 3
+
+
+def test_cache_env_kill_switch(cache_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_DSSD_CACHE", "0")
+    metrics = RunnerMetrics()
+    run_points([SQUARE], jobs=1, cache=True, metrics=metrics)
+    run_points([SQUARE], jobs=1, cache=True, metrics=metrics)
+    assert metrics.cache_hits == 0
+    assert not list(cache_dir.glob("*/*.json"))
+
+
+def test_clear_cache(cache_dir):
+    run_points(_sweep(3), jobs=1, cache=True)
+    assert runner.clear_cache() == 3
+    assert runner.clear_cache() == 0
+
+
+# ---------------------------------------------------------------------------
+# Configuration scoping
+
+
+def test_configured_scopes_and_restores():
+    before = runner.active_config()
+    with configured(jobs=7, cache=True) as config:
+        assert config.jobs == 7 and config.cache is True
+        with configured(cache=False):
+            assert runner.active_config().jobs == 7      # inherited
+            assert runner.active_config().cache is False  # overridden
+    assert runner.active_config() is before
+
+
+def test_run_points_inherits_configured_metrics(cache_dir):
+    metrics = RunnerMetrics()
+    with configured(jobs=1, cache=False, metrics=metrics):
+        run_points(_sweep(4))
+    assert metrics.points == 4
+    assert metrics.cache_misses == 4
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+
+
+def test_metrics_accumulate_and_merge():
+    a = RunnerMetrics()
+    a.record_computed(2.0)
+    a.record_hit()
+    a.record_batch(wall_s=2.0, jobs=2)
+    b = RunnerMetrics()
+    b.record_computed(1.0)
+    b.record_batch(wall_s=1.0, jobs=4)
+    a.merge(b)
+    assert a.points == 3
+    assert a.cache_hits == 1 and a.cache_misses == 2
+    assert a.batch_wall_s == 3.0 and a.busy_s == 3.0
+    assert a.max_jobs == 4
+    assert 0.0 < a.utilization <= 1.0
+    summary = a.summary()
+    assert summary["points"] == 3.0
+    assert summary["point_max_s"] == 2.0
+    assert "3 points" in a.format_line()
+
+
+def test_metrics_format_line_empty():
+    assert RunnerMetrics().format_line() == "0 points"
+
+
+def test_runner_metrics_row_flattens():
+    from repro.report import runner_metrics_row, to_csv
+
+    metrics = RunnerMetrics()
+    metrics.record_computed(0.5)
+    metrics.record_batch(wall_s=0.5, jobs=1)
+    row = runner_metrics_row(metrics, label="fig7")
+    assert row["label"] == "fig7"
+    assert row["cache_misses"] == 1.0
+    assert row["point_p50_s"] == 0.5
+    assert "cache_misses" in to_csv([row])
