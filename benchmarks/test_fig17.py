@@ -1,0 +1,28 @@
+"""Bench: regenerate paper-style Fig 17 (multi-tenant QoS isolation)."""
+
+from repro.experiments import fig17_multitenant
+
+
+def test_fig17_multitenant(run_figure):
+    result = run_figure(fig17_multitenant)
+    # Acceptance bar: the rate-limited victim's shared p99 stays within
+    # 2x of its solo run under both RR and WRR, on both architectures.
+    for arch, per_arbiter in result["isolation"].items():
+        assert set(per_arbiter) == {"rr", "wrr"}
+        for arbiter, ratio in per_arbiter.items():
+            assert ratio <= 2.0, (arch, arbiter)
+    cells = result["cells"]
+    for arch in ("baseline", "dssd_f"):
+        solo_p99 = result["solo"][arch]["tenants"]["victim"]["latency_p99_us"]
+        for arbiter in ("rr", "wrr"):
+            qos = cells[f"{arch}/{arbiter}/shared"]
+            noqos = cells[f"{arch}/{arbiter}/shared_noqos"]
+            qos_p99 = qos["tenants"]["victim"]["latency_p99_us"]
+            noqos_p99 = noqos["tenants"]["victim"]["latency_p99_us"]
+            # Dropping the victim's QoS edge produces visible
+            # interference -- the contrast the figure exists to show.
+            assert noqos_p99 > qos_p99, (arch, arbiter)
+            assert noqos_p99 > 1.2 * solo_p99, (arch, arbiter)
+            # The victim's protection never starves the aggressor: it
+            # still moves bulk data near link saturation.
+            assert qos["tenants"]["aggressor"]["bandwidth_MBps"] > 1000.0

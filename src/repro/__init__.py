@@ -43,7 +43,7 @@ __all__ = [
 def __getattr__(name):
     """Lazily expose the high-level API to keep import cost low."""
     if name in ("build_ssd", "ArchPreset", "SSDConfig", "SimulatedSSD",
-                "RunResult"):
+                "RunResult", "MultiTenantResult", "TenantResult"):
         from . import core
 
         return getattr(core, name)

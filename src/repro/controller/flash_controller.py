@@ -53,25 +53,29 @@ class FlashController:
     # -- single-page operations ----------------------------------------------
 
     def read_page(self, addr: PhysAddr, traffic_class: str = "io",
-                  breakdown: Breakdown = None) -> Generator:
+                  breakdown: Breakdown = None,
+                  priority: int = None) -> Generator:
         """Generator: array read then bus transfer to the controller."""
         self._check_owns(addr)
         breakdown = breakdown if breakdown is not None else Breakdown()
         op = yield from self.backend.read(addr)
         breakdown.add("flash_chip", op.total)
         t0 = self.sim.now
-        yield from self.channel.transfer(self.page_size, traffic_class)
+        yield from self.channel.transfer(self.page_size, traffic_class,
+                                         priority)
         breakdown.add("flash_bus", self.sim.now - t0)
         self.pages_read += 1
         return breakdown
 
     def program_page(self, addr: PhysAddr, traffic_class: str = "io",
-                     breakdown: Breakdown = None) -> Generator:
+                     breakdown: Breakdown = None,
+                     priority: int = None) -> Generator:
         """Generator: bus transfer into the register, then array program."""
         self._check_owns(addr)
         breakdown = breakdown if breakdown is not None else Breakdown()
         t0 = self.sim.now
-        yield from self.channel.transfer(self.page_size, traffic_class)
+        yield from self.channel.transfer(self.page_size, traffic_class,
+                                         priority)
         breakdown.add("flash_bus", self.sim.now - t0)
         op = yield from self.backend.program(addr)
         breakdown.add("flash_chip", op.total)

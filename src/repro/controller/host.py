@@ -51,18 +51,25 @@ class HostInterface:
         return self.queue_depth - self._slots.available
 
     def submit(self) -> Generator:
-        """Generator: wait for a queue slot and pay command overhead."""
+        """Generator: wait for a queue slot and pay command overhead.
+
+        A request counts as submitted the moment it owns a queue slot --
+        the command-processing overhead is paid while already admitted,
+        so ``submitted - completed == outstanding`` holds at every
+        instant.
+        """
         yield self._slots.acquire(1)
+        self.submitted += 1
         if self.cmd_latency_us > 0:
             yield self.sim.timeout(self.cmd_latency_us)
-        self.submitted += 1
 
     def complete(self) -> None:
         """Release the queue slot of a finished request."""
         self._slots.release(1)
         self.completed += 1
 
-    def transfer(self, nbytes: int, traffic_class: str = "io") -> Generator:
+    def transfer(self, nbytes: int, traffic_class: str = "io",
+                 priority: int = 0) -> Generator:
         """Generator: move request data over the host link."""
-        wait = yield self.link.transfer(nbytes, traffic_class)
+        wait = yield self.link.transfer(nbytes, traffic_class, priority)
         return wait

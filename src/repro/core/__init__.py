@@ -9,7 +9,13 @@ from .config import (
 )
 from .copyback import CopybackCommand, CopybackStatus
 from .datapath import BaselineDatapath, DecoupledDatapath
-from .ssd import RunResult, SimulatedSSD, build_ssd
+from .ssd import (
+    MultiTenantResult,
+    RunResult,
+    SimulatedSSD,
+    TenantResult,
+    build_ssd,
+)
 from .transport import (
     CopybackTransport,
     DedicatedBusTransport,
@@ -27,8 +33,10 @@ __all__ = [
     "DecoupledDatapath",
     "DedicatedBusTransport",
     "FnocTransport",
+    "MultiTenantResult",
     "paper_geometry",
     "RunResult",
+    "TenantResult",
     "SharedBusTransport",
     "sim_geometry",
     "SimulatedSSD",

@@ -88,6 +88,12 @@ class SSDConfig:
     queue_depth: int = 64
     host_cmd_latency_us: float = 1.0
 
+    # Multi-tenant frontend (run_tenants only).  ``arbiter`` picks the
+    # NVMe arbitration model ("rr"/"wrr"/"prio"); ``arb_burst`` is the
+    # arbitration burst -- commands fetched per queue per turn.
+    arbiter: str = "rr"
+    arb_burst: int = 1
+
     # FTL / buffering.
     write_policy: str = "writeback"
     write_buffer_pages: int = 2048
@@ -150,6 +156,15 @@ class SSDConfig:
         if self.fnoc_topology not in ("mesh1d", "mesh2d", "ring",
                                       "crossbar"):
             raise ConfigError(f"unknown fNoC topology {self.fnoc_topology!r}")
+        from ..host.arbiter import ARBITERS
+
+        if self.arbiter not in ARBITERS:
+            raise ConfigError(
+                f"unknown arbiter {self.arbiter!r}; "
+                f"available: {sorted(ARBITERS)}"
+            )
+        if self.arb_burst < 1:
+            raise ConfigError(f"arb_burst must be >= 1: {self.arb_burst}")
         if not ArchPreset.BASELINE.value:  # pragma: no cover - sanity
             raise ConfigError("enum corrupted")
 

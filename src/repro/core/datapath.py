@@ -70,22 +70,23 @@ class BaselineDatapath:
         return self.controllers[addr.channel]
 
     def _bus(self, nbytes: int, traffic_class: str,
-             breakdown: Breakdown) -> Generator:
+             breakdown: Breakdown, priority: int = 0) -> Generator:
         t0 = self.sim.now
-        yield from self.bus.transfer(nbytes, traffic_class)
+        yield from self.bus.transfer(nbytes, traffic_class, priority)
         breakdown.add("system_bus", self.sim.now - t0)
 
     def _dram(self, nbytes: int, traffic_class: str,
-              breakdown: Breakdown, direction: str = "write") -> Generator:
+              breakdown: Breakdown, direction: str = "write",
+              priority: int = 0) -> Generator:
         t0 = self.sim.now
         yield from self.dram.access(nbytes, traffic_class,
-                                    direction=direction)
+                                    priority=priority, direction=direction)
         breakdown.add("dram", self.sim.now - t0)
 
     def _ecc(self, engine: EccEngine, nbytes: int,
-             breakdown: Breakdown) -> Generator:
+             breakdown: Breakdown, priority: int = 0) -> Generator:
         t0 = self.sim.now
-        yield from engine.check(nbytes)
+        yield from engine.check(nbytes, priority)
         breakdown.add("ecc", self.sim.now - t0)
 
     def ecc_for(self, channel: int) -> EccEngine:
@@ -95,10 +96,11 @@ class BaselineDatapath:
     # -- host I/O paths ----------------------------------------------------------
 
     def io_dram_rw(self, nbytes: int, breakdown: Breakdown,
-                   direction: str = "write") -> Generator:
+                   direction: str = "write",
+                   priority: int = 0) -> Generator:
         """DRAM-serviced I/O: one bus traversal plus one DRAM access."""
-        yield from self._bus(nbytes, "io", breakdown)
-        yield from self._dram(nbytes, "io", breakdown, direction)
+        yield from self._bus(nbytes, "io", breakdown, priority)
+        yield from self._dram(nbytes, "io", breakdown, direction, priority)
 
     def _read_retries(self, addr: PhysAddr) -> int:
         if self.wear_model is None:
@@ -107,8 +109,8 @@ class BaselineDatapath:
         erase_count = self.backend.erase_count(addr)
         return self.wear_model.read_retries(erase_count, block_index)
 
-    def io_read_flash(self, addr: PhysAddr,
-                      breakdown: Breakdown) -> Generator:
+    def io_read_flash(self, addr: PhysAddr, breakdown: Breakdown,
+                      priority: int = 0) -> Generator:
         """Flash read: array -> flash bus -> ECC -> system bus.
 
         Worn blocks may need read-retry passes: each retry repeats the
@@ -116,15 +118,15 @@ class BaselineDatapath:
         """
         addr = self.remap(addr)
         controller = self.controller_for(addr)
-        yield from controller.read_page(addr, "io", breakdown)
+        yield from controller.read_page(addr, "io", breakdown, priority)
         yield from self._ecc(self.ecc_for(addr.channel), self.page_size,
-                             breakdown)
+                             breakdown, priority)
         for _retry in range(self._read_retries(addr)):
             self.read_retries_performed += 1
-            yield from controller.read_page(addr, "io", breakdown)
+            yield from controller.read_page(addr, "io", breakdown, priority)
             yield from self._ecc(self.ecc_for(addr.channel),
-                                 self.page_size, breakdown)
-        yield from self._bus(self.page_size, "io", breakdown)
+                                 self.page_size, breakdown, priority)
+        yield from self._bus(self.page_size, "io", breakdown, priority)
 
     def io_flush_write(self, addr: PhysAddr,
                        breakdown: Breakdown) -> Generator:
@@ -135,13 +137,14 @@ class BaselineDatapath:
         yield from self.controller_for(addr).program_page(addr, "io",
                                                           breakdown)
 
-    def io_program(self, addr: PhysAddr,
-                   breakdown: Breakdown) -> Generator:
+    def io_program(self, addr: PhysAddr, breakdown: Breakdown,
+                   priority: int = 0) -> Generator:
         """Write-through program: system bus -> flash program."""
         addr = self.remap(addr)
-        yield from self._bus(self.page_size, "io", breakdown)
+        yield from self._bus(self.page_size, "io", breakdown, priority)
         yield from self.controller_for(addr).program_page(addr, "io",
-                                                          breakdown)
+                                                          breakdown,
+                                                          priority)
 
     # -- garbage-collection paths ---------------------------------------------------
 

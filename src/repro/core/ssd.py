@@ -25,6 +25,7 @@ from ..flash import FlashBackend, FlashChannel
 from ..ftl import Ftl, GarbageCollector, GcStats, PageMappingTable, \
     StaticWearLeveler
 from ..ftl.blocks import BlockManager
+from ..host import MultiQueueFrontend, TenantSpec
 from ..noc import Crossbar, FNoC, Mesh1D, Mesh2D, Ring
 from ..sim import LatencyStats, Simulator
 from .config import ArchPreset, SSDConfig
@@ -35,7 +36,8 @@ from .transport import (
     SharedBusTransport,
 )
 
-__all__ = ["SimulatedSSD", "RunResult", "build_ssd"]
+__all__ = ["MultiTenantResult", "RunResult", "SimulatedSSD",
+           "TenantResult", "build_ssd"]
 
 _TOPOLOGIES = {"mesh1d": Mesh1D, "mesh2d": Mesh2D, "ring": Ring,
                "crossbar": Crossbar}
@@ -97,6 +99,76 @@ class RunResult:
             "bus_utilization": self.bus_utilization,
             "requests": float(self.requests_completed),
         }
+
+
+@dataclass
+class TenantResult:
+    """One tenant's view of a :meth:`SimulatedSSD.run_tenants` window."""
+
+    name: str
+    driver: str
+    arbiter: str
+    arrivals: int
+    admitted: int
+    dropped: int
+    dispatched: int
+    completed: int
+    bytes_completed: float
+    duration_us: float
+    latency: LatencyStats
+    sq_wait: LatencyStats
+
+    @property
+    def iops(self) -> float:
+        """Completions per simulated second."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.completed / self.duration_us * 1e6
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved bandwidth in bytes/us (== MB/s)."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.bytes_completed / self.duration_us
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of arrivals rejected by admission control."""
+        if self.arrivals <= 0:
+            return 0.0
+        return self.dropped / self.arrivals
+
+    def summary(self) -> Dict[str, float]:
+        """Headline per-tenant numbers for report tables."""
+        return {
+            "arrivals": float(self.arrivals),
+            "dropped": float(self.dropped),
+            "completed": float(self.completed),
+            "iops": self.iops,
+            "bandwidth_MBps": self.bandwidth,
+            "mean_us": self.latency.mean,
+            "p50_us": self.latency.p50,
+            "p99_us": self.latency.p99,
+            "sq_wait_mean_us": self.sq_wait.mean,
+        }
+
+
+@dataclass
+class MultiTenantResult:
+    """Device-level metrics plus the per-tenant breakdown."""
+
+    device: RunResult
+    tenants: List[TenantResult]
+    arbiter: str
+    arb_burst: int
+
+    def tenant(self, name: str) -> TenantResult:
+        """The result row of tenant *name*."""
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        raise ConfigError(f"no tenant named {name!r}")
 
 
 class SimulatedSSD:
@@ -161,6 +233,7 @@ class SimulatedSSD:
                 interval_us=config.wear_level_interval_us,
                 threshold=config.wear_level_threshold,
             )
+        self.frontend: Optional[MultiQueueFrontend] = None
         self.lpn_space = 0
         self._prefilled = False
         self._measure_start = 0.0
@@ -243,6 +316,8 @@ class SimulatedSSD:
         gc_stats.move_breakdowns = []
         self._gc_snapshot = (gc_stats.pages_moved,
                              self.gc.current_busy_time())
+        if self.frontend is not None:
+            self.frontend.reset_stats()
 
     def run(self, workload, duration_us: Optional[float] = None,
             max_requests: Optional[int] = None,
@@ -293,6 +368,69 @@ class SimulatedSSD:
         else:
             self.sim.run()
         return self._collect()
+
+    def run_tenants(self, tenants: List[TenantSpec],
+                    duration_us: float,
+                    warmup_us: float = 0.0,
+                    trigger_gc: bool = True) -> MultiTenantResult:
+        """Drive several tenant streams through the multi-queue frontend.
+
+        Each :class:`~repro.host.TenantSpec` gets its own NVMe-style
+        submission/completion queue pair; the config's ``arbiter`` /
+        ``arb_burst`` pick the arbitration model multiplexing them onto
+        the FTL.  Tenants may be closed-loop (the paper's model) or
+        open-loop (Poisson / trace-timestamp arrivals), each carrying
+        its own QoS policy (token-bucket rate limit, WRR weight,
+        priority, admission control).  Statistics before *warmup_us*
+        are discarded, as in :meth:`run`.
+        """
+        if duration_us is None or duration_us <= 0:
+            raise ConfigError(f"duration_us must be positive: {duration_us}")
+        if warmup_us and warmup_us >= duration_us:
+            raise ConfigError("warmup_us must be below duration_us")
+        if self.frontend is not None:
+            raise ConfigError("run_tenants called twice on one SSD instance")
+        self.prefill()
+        self.ftl.start()
+        if self.wear_leveler is not None:
+            self.wear_leveler.start()
+        self._io_bytes_snapshot = 0.0
+        self.frontend = MultiQueueFrontend(
+            self.sim, self.ftl, tenants,
+            arbiter=self.config.arbiter, arb_burst=self.config.arb_burst,
+        )
+        if warmup_us > 0:
+            self.sim.schedule(warmup_us, self._reset_measurements)
+        for spec in tenants:
+            spec.workload.bind(self.lpn_space,
+                               self.config.geometry.page_size, spec.seed)
+        if trigger_gc:
+            self.gc.maybe_trigger()
+        self.frontend.start()
+        self.sim.run(until=duration_us)
+        device = self._collect()
+        window = device.duration_us
+        tenant_results = [
+            TenantResult(
+                name=spec.name,
+                driver=spec.driver,
+                arbiter=self.config.arbiter,
+                arrivals=stats.arrivals,
+                admitted=stats.admitted,
+                dropped=stats.dropped,
+                dispatched=stats.dispatched,
+                completed=stats.completed,
+                bytes_completed=stats.bytes_completed,
+                duration_us=window,
+                latency=stats.latency,
+                sq_wait=stats.sq_wait,
+            )
+            for spec, stats in zip(self.frontend.tenants,
+                                   self.frontend.stats)
+        ]
+        return MultiTenantResult(device=device, tenants=tenant_results,
+                                 arbiter=self.config.arbiter,
+                                 arb_burst=self.config.arb_burst)
 
     def _collect(self) -> RunResult:
         horizon = self.sim.now

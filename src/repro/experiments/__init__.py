@@ -26,6 +26,7 @@ from . import (
     fig14_lifetime,
     fig15_srt_performance,
     fig16_srt_size,
+    fig17_multitenant,
     table3_qualitative,
 )
 from .common import ARCH_ORDER, format_table, gc_burst_run, steady_run
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "fig14": fig14_lifetime,
     "fig15": fig15_srt_performance,
     "fig16": fig16_srt_size,
+    "fig17": fig17_multitenant,
     "table3": table3_qualitative,
     "ablations": ablations,
 }

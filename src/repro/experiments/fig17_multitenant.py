@@ -1,0 +1,170 @@
+"""Fig 17: multi-tenant QoS isolation through the NVMe frontend.
+
+A rate-limited, latency-sensitive *victim* (open-loop Poisson writer)
+shares the device with an unthrottled closed-loop *aggressor* that
+saturates the host link.  Three scenarios per (arch, arbiter) cell:
+
+* ``solo``          -- the victim alone: its intrinsic latency floor;
+* ``shared``        -- victim + aggressor with the victim's QoS policy
+  active (token-bucket rate limit, WRR weight, urgent datapath
+  priority).  Acceptance: victim p99 within 2x of its solo run while
+  the aggressor still saturates -- under both RR and WRR arbitration;
+* ``shared_noqos``  -- same pair but the victim carries no priority
+  edge, demonstrating the interference QoS removes (its mean latency
+  inflates ~5x behind the aggressor's bulk transfers).
+
+The sweep runs each scenario on the conventional baseline and on
+dSSD_f.  The window is sized below the GC trigger so the comparison
+isolates frontend arbitration + datapath priority from GC effects
+(the GC story is Figs 7-13).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import build_ssd, sim_geometry
+from ..host import QosPolicy, TenantSpec
+from ..report import tenant_result_row
+from ..workloads import SyntheticWorkload
+from .common import bench_durations, format_table
+from .runner import PointSpec, run_points
+
+__all__ = ["run", "tenant_point", "ARCHS", "FIG17_ARBITERS", "SCENARIOS"]
+
+ARCHS = ("baseline", "dssd_f")
+FIG17_ARBITERS = ("rr", "wrr")
+SCENARIOS = ("solo", "shared", "shared_noqos")
+
+#: Victim: open-loop 16 KB writer, 20k IOPS offered, 25k IOPS bucket.
+VICTIM_RATE_IOPS = 20_000.0
+VICTIM_LIMIT_IOPS = 25_000.0
+#: Aggressor: closed-loop 32 KB writer at QD 28 (saturates the link).
+AGGRESSOR_QD = 28
+
+
+def _tenant_specs(scenario: str) -> List[TenantSpec]:
+    """The tenant mix of one scenario (built inside the worker)."""
+    victim_priority = 4 if scenario == "shared_noqos" else 0
+    tenants = [
+        TenantSpec(
+            name="victim",
+            workload=SyntheticWorkload(pattern="rand_write", io_size=16384),
+            driver="poisson",
+            rate_iops=VICTIM_RATE_IOPS,
+            qos=QosPolicy(rate_iops=VICTIM_LIMIT_IOPS, burst_ops=4.0,
+                          weight=4, priority=victim_priority),
+            seed=7,
+        ),
+    ]
+    if scenario != "solo":
+        tenants.append(TenantSpec(
+            name="aggressor",
+            workload=SyntheticWorkload(pattern="rand_write", io_size=32768),
+            driver="closed",
+            queue_depth=AGGRESSOR_QD,
+            qos=QosPolicy(weight=1, priority=4),
+            seed=11,
+        ))
+    return tenants
+
+
+def tenant_point(arch: str, arbiter: str, scenario: str,
+                 quick: bool) -> Dict:
+    """Per-tenant metrics for one (arch, arbiter, scenario) cell."""
+    windows = bench_durations(quick)
+    # Prefill well below the GC trigger: the measured window exercises
+    # the frontend and datapath, not garbage collection.
+    ssd = build_ssd(arch, geometry=sim_geometry(), arbiter=arbiter,
+                    prefill_fraction=0.5)
+    result = ssd.run_tenants(_tenant_specs(scenario),
+                             duration_us=windows["duration_us"],
+                             warmup_us=windows["warmup_us"])
+    return {
+        "tenants": {t.name: tenant_result_row(t) for t in result.tenants},
+        "device_bandwidth_MBps": result.device.io_bandwidth,
+        "device_p99_us": result.device.io_latency.p99,
+    }
+
+
+def run(quick: bool = True) -> Dict:
+    """Run the isolation sweep; return per-tenant rows, ratios, table."""
+    specs = [
+        PointSpec.from_callable(
+            tenant_point,
+            {"arch": arch, "arbiter": "rr", "scenario": "solo",
+             "quick": quick},
+            key=f"fig17:{arch}/solo")
+        for arch in ARCHS
+    ] + [
+        PointSpec.from_callable(
+            tenant_point,
+            {"arch": arch, "arbiter": arbiter, "scenario": scenario,
+             "quick": quick},
+            key=f"fig17:{arch}/{arbiter}/{scenario}")
+        for arch in ARCHS
+        for arbiter in FIG17_ARBITERS
+        for scenario in ("shared", "shared_noqos")
+    ]
+    points = iter(run_points(specs))
+    # The solo floor is arbiter-independent (a lone queue sees every
+    # policy behave identically), so it is computed once per arch.
+    solo: Dict[str, Dict] = {arch: next(points) for arch in ARCHS}
+    cells: Dict[tuple, Dict] = {}
+    for arch in ARCHS:
+        for arbiter in FIG17_ARBITERS:
+            for scenario in ("shared", "shared_noqos"):
+                cells[(arch, arbiter, scenario)] = next(points)
+
+    tenant_rows: List[Dict] = []
+    table_rows: List[List] = []
+    isolation: Dict[str, Dict[str, float]] = {}
+    for arch in ARCHS:
+        solo_victim = solo[arch]["tenants"]["victim"]
+        solo_p99 = solo_victim["latency_p99_us"]
+        table_rows.append([arch, "rr", "solo", "victim",
+                           solo_victim["iops"],
+                           solo_victim["bandwidth_MBps"],
+                           solo_victim["latency_mean_us"],
+                           solo_p99, 1.0])
+        tenant_rows.append(dict(solo_victim, arch=arch, scenario="solo"))
+        isolation[arch] = {}
+        for arbiter in FIG17_ARBITERS:
+            for scenario in ("shared", "shared_noqos"):
+                cell = cells[(arch, arbiter, scenario)]
+                for name in ("victim", "aggressor"):
+                    row = cell["tenants"][name]
+                    ratio = (row["latency_p99_us"] / solo_p99
+                             if name == "victim" and solo_p99 > 0 else None)
+                    table_rows.append([
+                        arch, arbiter, scenario, name,
+                        row["iops"], row["bandwidth_MBps"],
+                        row["latency_mean_us"], row["latency_p99_us"],
+                        ratio if ratio is not None else "-",
+                    ])
+                    tenant_rows.append(dict(row, arch=arch,
+                                            scenario=scenario))
+                victim_row = cell["tenants"]["victim"]
+                if scenario == "shared" and solo_p99 > 0:
+                    isolation[arch][arbiter] = (
+                        victim_row["latency_p99_us"] / solo_p99
+                    )
+
+    table = format_table(
+        ["arch", "arbiter", "scenario", "tenant", "iops",
+         "bw_MBps", "mean_us", "p99_us", "p99_vs_solo"],
+        table_rows,
+        title="Fig 17: multi-tenant isolation -- rate-limited victim vs "
+              "saturating aggressor (p99_vs_solo <= 2 required with QoS)",
+    )
+    return {
+        "solo": solo,
+        "cells": {"/".join(k): v for k, v in cells.items()},
+        "tenant_rows": tenant_rows,
+        "isolation": isolation,
+        "table": table,
+    }
+
+
+if __name__ == "__main__":
+    print(run(quick=True)["table"])

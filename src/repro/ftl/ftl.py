@@ -99,21 +99,26 @@ class Ftl:
 
     def _handle_write(self, request: IoRequest,
                       breakdown: Breakdown) -> Generator:
+        priority = request.priority
         t0 = self.sim.now
-        yield from self.host.transfer(request.bytes(self.geometry.page_size))
+        yield from self.host.transfer(request.bytes(self.geometry.page_size),
+                                      priority=priority)
         breakdown.add("host", self.sim.now - t0)
         if request.dram_hit:
             yield from self.datapath.io_dram_rw(
-                request.bytes(self.geometry.page_size), breakdown
+                request.bytes(self.geometry.page_size), breakdown,
+                priority=priority,
             )
             return
         if self.write_policy == "writeback":
             for offset in range(request.n_pages):
-                yield from self._buffer_write(request.lpn + offset, breakdown)
+                yield from self._buffer_write(request.lpn + offset, breakdown,
+                                              priority)
         else:
             procs = [
                 self.sim.process(
-                    self._write_through_page(request.lpn + offset, breakdown)
+                    self._write_through_page(request.lpn + offset, breakdown,
+                                             priority)
                 )
                 for offset in range(request.n_pages)
             ]
@@ -121,20 +126,23 @@ class Ftl:
 
     def _handle_read(self, request: IoRequest,
                      breakdown: Breakdown) -> Generator:
+        priority = request.priority
         if request.dram_hit:
             yield from self.datapath.io_dram_rw(
-                request.bytes(self.geometry.page_size), breakdown, "read"
+                request.bytes(self.geometry.page_size), breakdown, "read",
+                priority=priority,
             )
         else:
             procs = [
                 self.sim.process(
-                    self._read_page(request.lpn + offset, breakdown)
+                    self._read_page(request.lpn + offset, breakdown, priority)
                 )
                 for offset in range(request.n_pages)
             ]
             yield self.sim.all_of(procs)
         t0 = self.sim.now
-        yield from self.host.transfer(request.bytes(self.geometry.page_size))
+        yield from self.host.transfer(request.bytes(self.geometry.page_size),
+                                      priority=priority)
         breakdown.add("host", self.sim.now - t0)
 
     def _handle_trim(self, request: IoRequest,
@@ -152,44 +160,51 @@ class Ftl:
                 self.blocks.invalidate(self.geometry.addr_of(ppn))
         # Command processing cost only (mapping update in SRAM/DRAM).
         yield from self.datapath.io_dram_rw(64 * request.n_pages,
-                                            breakdown, "write")
+                                            breakdown, "write",
+                                            priority=request.priority)
         self.trims_processed += 1
 
     # -- per-page paths --------------------------------------------------------
 
-    def _buffer_write(self, lpn: int, breakdown: Breakdown) -> Generator:
+    def _buffer_write(self, lpn: int, breakdown: Breakdown,
+                      priority: int = 0) -> Generator:
         """Write-back: stage one page in the DRAM buffer."""
         coalesced = lpn in self._dirty
         if not coalesced:
             # May backpressure: the buffer is full until a flush completes.
             yield self.datapath.dram.reserve_buffer_page()
         yield from self.datapath.io_dram_rw(self.geometry.page_size,
-                                            breakdown)
+                                            breakdown, priority=priority)
         if not coalesced:
             self._dirty[lpn] = True
             self._flush_queue.put(lpn)
 
-    def _write_through_page(self, lpn: int,
-                            breakdown: Breakdown) -> Generator:
+    def _write_through_page(self, lpn: int, breakdown: Breakdown,
+                            priority: int = 0) -> Generator:
         """Write-through: the page completes only after flash program."""
         addr = yield from self._allocate_with_gc()
-        yield from self.datapath.io_program(addr, breakdown)
+        yield from self.datapath.io_program(addr, breakdown,
+                                            priority=priority)
         self._bind(lpn, addr)
         self.gc.maybe_trigger()
 
-    def _read_page(self, lpn: int, breakdown: Breakdown) -> Generator:
+    def _read_page(self, lpn: int, breakdown: Breakdown,
+                   priority: int = 0) -> Generator:
         if lpn in self._dirty:
             yield from self.datapath.io_dram_rw(self.geometry.page_size,
-                                                breakdown, "read")
+                                                breakdown, "read",
+                                                priority=priority)
             return
         ppn = self.mapping.lookup(lpn)
         if ppn is None:
             # Unwritten LPN: serve zeroes from the controller (DRAM path).
             yield from self.datapath.io_dram_rw(self.geometry.page_size,
-                                                breakdown, "read")
+                                                breakdown, "read",
+                                                priority=priority)
             return
         addr = self.geometry.addr_of(ppn)
-        yield from self.datapath.io_read_flash(addr, breakdown)
+        yield from self.datapath.io_read_flash(addr, breakdown,
+                                               priority=priority)
 
     # -- flushing -----------------------------------------------------------------
 

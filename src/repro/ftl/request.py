@@ -29,6 +29,11 @@ class IoRequest:
     lpn: int
     n_pages: int
     dram_hit: bool = False
+    #: Datapath priority on shared resources (lower = more urgent).
+    #: The multi-tenant frontend stamps each request with its stream's
+    #: QoS priority so isolation holds inside the device, not only at
+    #: arbitration time.
+    priority: int = 0
     request_id: int = field(default_factory=lambda: next(_request_ids))
     issue_time: Optional[float] = None
     complete_time: Optional[float] = None

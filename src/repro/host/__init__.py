@@ -1,0 +1,40 @@
+"""Multi-tenant NVMe-style host frontend.
+
+The paper evaluates the decoupled SSD as a shared, disaggregated
+device; this package supplies the host side of that story: per-tenant
+submission/completion queue pairs, NVMe-model arbitration (round-robin,
+weighted-round-robin, strict priority), token-bucket QoS with admission
+control, and open-loop traffic drivers (Poisson, trace replay) next to
+the paper's closed-loop model.  :class:`MultiQueueFrontend` ties it all
+together and plugs into :meth:`repro.core.ssd.SimulatedSSD.run_tenants`.
+"""
+
+from .arbiter import (
+    ARBITERS,
+    Arbiter,
+    RoundRobinArbiter,
+    StrictPriorityArbiter,
+    WeightedRoundRobinArbiter,
+    make_arbiter,
+)
+from .frontend import MultiQueueFrontend
+from .qos import QosPolicy, TokenBucket
+from .queues import QueuePair, Sqe
+from .tenant import DRIVERS, TenantSpec, TenantStats
+
+__all__ = [
+    "ARBITERS",
+    "Arbiter",
+    "DRIVERS",
+    "MultiQueueFrontend",
+    "QosPolicy",
+    "QueuePair",
+    "RoundRobinArbiter",
+    "Sqe",
+    "StrictPriorityArbiter",
+    "TenantSpec",
+    "TenantStats",
+    "TokenBucket",
+    "WeightedRoundRobinArbiter",
+    "make_arbiter",
+]

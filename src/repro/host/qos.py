@@ -1,0 +1,136 @@
+"""Per-tenant QoS policy: token-bucket rate limits and stream attributes.
+
+A tenant stream carries a :class:`QosPolicy`: an optional token-bucket
+rate limit (enforced by the frontend arbiter -- a queue with an empty
+bucket is ineligible for dispatch), an arbitration ``weight`` (WRR) and
+``priority`` (strict-priority arbitration *and* the datapath priority
+its requests carry onto the shared links -- lower is more urgent), the
+submission-queue ``sq_depth``, and the admission policy when that queue
+fills (backpressure vs drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigError
+from ..sim import Simulator
+
+__all__ = ["QosPolicy", "TokenBucket"]
+
+#: Simulated microseconds per second (rates are quoted in ops/s).
+_US_PER_S = 1e6
+
+
+class TokenBucket:
+    """A lazily-refilled token bucket over simulated time.
+
+    ``rate_per_us`` tokens accrue per microsecond up to ``burst``
+    capacity; the bucket starts full.  ``rate_per_us=None`` means
+    unlimited (always ready).  Refill happens on observation, so the
+    bucket costs nothing while idle.
+    """
+
+    def __init__(self, sim: Simulator, rate_per_us: Optional[float],
+                 burst: float = 1.0):
+        if rate_per_us is not None and rate_per_us <= 0:
+            raise ConfigError(f"bucket rate must be positive: {rate_per_us}")
+        if burst < 1.0:
+            raise ConfigError(f"bucket burst must be >= 1 token: {burst}")
+        self.sim = sim
+        self.rate_per_us = rate_per_us
+        self.burst = burst
+        self._tokens = burst
+        self._last = sim.now
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        if self.rate_per_us is not None and now > self._last:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate_per_us
+            )
+        self._last = now
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether this bucket never gates dispatch."""
+        return self.rate_per_us is None
+
+    def available(self) -> float:
+        """Tokens available right now (after refill)."""
+        if self.unlimited:
+            return float("inf")
+        self._refill()
+        return self._tokens
+
+    def ready(self, n: float = 1.0) -> bool:
+        """Whether *n* tokens can be taken immediately."""
+        return self.unlimited or self.available() >= n - 1e-12
+
+    def ready_at(self, n: float = 1.0) -> float:
+        """Absolute simulated time when *n* tokens will be available."""
+        if self.unlimited:
+            return self.sim.now
+        if n > self.burst:
+            raise ConfigError(
+                f"cannot ever grant {n} tokens from a burst-{self.burst} bucket"
+            )
+        self._refill()
+        deficit = n - self._tokens
+        if deficit <= 0:
+            return self.sim.now
+        return self.sim.now + deficit / self.rate_per_us
+
+    def take(self, n: float = 1.0) -> None:
+        """Consume *n* tokens (caller must have checked :meth:`ready`)."""
+        if self.unlimited:
+            return
+        self._refill()
+        if self._tokens < n - 1e-9:
+            raise ConfigError(
+                f"token bucket underflow: want {n}, have {self._tokens:.3f}"
+            )
+        self._tokens -= n
+
+
+@dataclass(frozen=True)
+class QosPolicy:
+    """The QoS knobs one tenant stream carries.
+
+    ``rate_iops`` / ``burst_ops`` parameterize the dispatch token
+    bucket in operations per *second* of simulated time (``None`` =
+    unthrottled).  ``priority`` is both the strict-priority arbitration
+    class and the datapath priority the stream's requests carry onto
+    shared links (lower = more urgent; background flush traffic runs
+    at 0).  ``drop_on_full=True`` switches admission control from
+    backpressure to dropping when the submission queue is full.
+    """
+
+    rate_iops: Optional[float] = None
+    burst_ops: float = 4.0
+    weight: int = 1
+    priority: int = 0
+    sq_depth: int = 64
+    drop_on_full: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rate_iops is not None and self.rate_iops <= 0:
+            raise ConfigError(f"rate_iops must be positive: {self.rate_iops}")
+        if self.burst_ops < 1.0:
+            raise ConfigError(f"burst_ops must be >= 1: {self.burst_ops}")
+        if self.weight < 1:
+            raise ConfigError(f"weight must be >= 1: {self.weight}")
+        if self.sq_depth < 1:
+            raise ConfigError(f"sq_depth must be >= 1: {self.sq_depth}")
+
+    @property
+    def rate_per_us(self) -> Optional[float]:
+        """The token-bucket rate in operations per microsecond."""
+        if self.rate_iops is None:
+            return None
+        return self.rate_iops / _US_PER_S
+
+    def make_bucket(self, sim: Simulator) -> TokenBucket:
+        """Build this policy's dispatch token bucket."""
+        return TokenBucket(sim, self.rate_per_us, self.burst_ops)

@@ -1,0 +1,149 @@
+"""NVMe-style queue pairs: bounded submission queues with doorbells.
+
+A :class:`QueuePair` models one NVMe submission/completion queue pair
+as a host driver sees it: a fixed-depth ring of command slots.  A slot
+is occupied from the moment the tenant rings the SQ tail doorbell
+(:meth:`QueuePair.post`) until the matching completion is posted and
+consumed (:meth:`QueuePair.complete`) -- so ``depth`` bounds the
+tenant's total commands in flight, queued *or* executing.  A full ring
+backpressures the tenant driver (:meth:`QueuePair.wait_for_space`) or,
+under a drop-admission policy, rejects the arrival outright.
+
+The frontend arbiter fetches entries with :meth:`QueuePair.pop`; the
+entry (:class:`Sqe`) carries the timestamps that split tenant-perceived
+latency into submission-queue wait and device time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import ConfigError
+from ..sim import Event, Simulator
+
+__all__ = ["QueuePair", "Sqe"]
+
+
+class Sqe:
+    """One submission-queue entry: a request plus frontend bookkeeping.
+
+    ``arrival`` is the doorbell time; latency reported per tenant is
+    ``completed_at - arrival`` so it includes submission-queue wait --
+    the quantity an open-loop (arrival-driven) tenant actually observes.
+    """
+
+    __slots__ = ("request", "qid", "arrival", "dispatched_at",
+                 "completed_at", "done")
+
+    def __init__(self, request, qid: int, arrival: float,
+                 done: Optional[Event] = None):
+        self.request = request
+        self.qid = qid
+        self.arrival = arrival
+        self.dispatched_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        #: Fires when the completion is posted (closed-loop drivers wait).
+        self.done = done
+
+    @property
+    def sq_wait(self) -> float:
+        """Time spent queued before the arbiter dispatched the entry."""
+        if self.dispatched_at is None:
+            raise ConfigError("sqe not dispatched yet")
+        return self.dispatched_at - self.arrival
+
+
+class QueuePair:
+    """One submission/completion queue pair owned by a tenant stream.
+
+    ``weight`` and ``priority`` are the arbitration attributes the NVMe
+    spec attaches to submission queues (weighted-round-robin weights,
+    strict-priority classes); the arbiters read them off the queue.
+    """
+
+    def __init__(self, sim: Simulator, qid: int, depth: int,
+                 weight: int = 1, priority: int = 0, name: str = ""):
+        if depth < 1:
+            raise ConfigError(f"queue depth must be >= 1: {depth}")
+        if weight < 1:
+            raise ConfigError(f"arbitration weight must be >= 1: {weight}")
+        self.sim = sim
+        self.qid = qid
+        self.depth = depth
+        self.weight = weight
+        self.priority = priority
+        self.name = name or f"qp{qid}"
+        self._sq: Deque[Sqe] = deque()
+        self._inflight = 0
+        self._space_waiters: Deque[Event] = deque()
+        #: SQ tail doorbell writes (== accepted posts).
+        self.doorbells = 0
+        self.posted = 0
+        self.dispatched = 0
+        self.completed = 0
+
+    def __len__(self) -> int:
+        """Entries waiting in the submission queue (not yet fetched)."""
+        return len(self._sq)
+
+    @property
+    def occupancy(self) -> int:
+        """Ring slots in use: queued entries plus in-flight commands."""
+        return len(self._sq) + self._inflight
+
+    @property
+    def has_space(self) -> bool:
+        """Whether another command can be posted right now."""
+        return self.occupancy < self.depth
+
+    @property
+    def inflight(self) -> int:
+        """Commands fetched by the controller but not yet completed."""
+        return self._inflight
+
+    def post(self, sqe: Sqe) -> bool:
+        """Ring the SQ tail doorbell with one new entry.
+
+        Returns False (and accepts nothing) when the ring is full --
+        the caller decides between backpressure and dropping.
+        """
+        if not self.has_space:
+            return False
+        self._sq.append(sqe)
+        self.doorbells += 1
+        self.posted += 1
+        return True
+
+    def wait_for_space(self) -> Event:
+        """Event firing once a ring slot is (or already is) free.
+
+        Waiters are granted in FIFO order, one per freed slot, so
+        backpressured arrivals keep their order.
+        """
+        evt = self.sim.event()
+        if self.has_space and not self._space_waiters:
+            evt.trigger(self)
+        else:
+            self._space_waiters.append(evt)
+        return evt
+
+    def pop(self) -> Sqe:
+        """Arbiter fetch: remove and return the head SQ entry."""
+        if not self._sq:
+            raise ConfigError(f"pop on empty submission queue {self.name}")
+        sqe = self._sq.popleft()
+        sqe.dispatched_at = self.sim.now
+        self._inflight += 1
+        self.dispatched += 1
+        return sqe
+
+    def complete(self, sqe: Sqe) -> None:
+        """Post the completion for *sqe* and free its ring slot."""
+        if self._inflight <= 0:
+            raise ConfigError(f"completion on idle queue pair {self.name}")
+        self._inflight -= 1
+        self.completed += 1
+        sqe.completed_at = self.sim.now
+        if self._space_waiters and self.has_space:
+            self._space_waiters.popleft().trigger(self)

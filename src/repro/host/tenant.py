@@ -1,0 +1,136 @@
+"""Tenant streams: workload + driver model + QoS policy + statistics.
+
+A :class:`TenantSpec` describes one tenant of the multi-queue frontend:
+which workload generates its requests, how arrivals are driven, and the
+:class:`~repro.host.qos.QosPolicy` its stream carries.  Three driver
+models cover the evaluation space:
+
+* ``"closed"`` -- the paper's closed-loop model: ``queue_depth``
+  processes each keep one request in flight (throughput-limited);
+* ``"poisson"`` -- open-loop memoryless arrivals at ``rate_iops``
+  operations per simulated second, independent of completions, so
+  offered load beyond capacity shows up as queueing and tail growth;
+* ``"trace"`` -- open-loop replay of the workload's trace timestamps
+  (scaled by ``time_scale``), for arrival patterns with burstiness a
+  Poisson stream cannot express.
+
+:class:`TenantStats` is the per-tenant measurement bundle -- admission
+counters plus :class:`~repro.sim.stats.LatencyStats` recorders for
+end-to-end latency and submission-queue wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigError
+from ..sim import LatencyStats
+from .qos import QosPolicy
+
+__all__ = ["DRIVERS", "TenantSpec", "TenantStats"]
+
+DRIVERS = ("closed", "poisson", "trace")
+
+
+@dataclass
+class TenantSpec:
+    """One tenant stream of a multi-tenant run.
+
+    ``workload`` is any object with the standard workload protocol
+    (``bind``/``next_request``); the ``"trace"`` driver additionally
+    needs ``peek_timestamp`` (see
+    :class:`~repro.workloads.traces.TraceWorkload`).
+    """
+
+    name: str
+    workload: Any
+    driver: str = "closed"
+    #: Closed-loop concurrency (requests kept in flight).
+    queue_depth: int = 16
+    #: Poisson arrival rate, operations per simulated second.
+    rate_iops: Optional[float] = None
+    #: Trace replay: simulated us per unit of trace timestamp.
+    time_scale: float = 1.0
+    qos: QosPolicy = field(default_factory=QosPolicy)
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant needs a name")
+        if self.driver not in DRIVERS:
+            raise ConfigError(
+                f"unknown driver {self.driver!r}; available: {DRIVERS}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigError(
+                f"tenant queue_depth must be >= 1: {self.queue_depth}"
+            )
+        if self.driver == "poisson":
+            if self.rate_iops is None or self.rate_iops <= 0:
+                raise ConfigError(
+                    f"poisson driver needs a positive rate_iops, "
+                    f"got {self.rate_iops}"
+                )
+        if self.time_scale <= 0:
+            raise ConfigError(f"time_scale must be positive: {self.time_scale}")
+
+    @property
+    def arrival_interval_us(self) -> float:
+        """Mean Poisson inter-arrival gap in simulated microseconds."""
+        if self.rate_iops is None or self.rate_iops <= 0:
+            raise ConfigError(f"tenant {self.name} has no arrival rate")
+        return 1e6 / self.rate_iops
+
+
+class TenantStats:
+    """Per-tenant measurements collected by the frontend.
+
+    ``arrivals = admitted + dropped`` always holds; ``latency`` records
+    doorbell-to-completion time (including submission-queue wait) and
+    ``sq_wait`` the queueing component alone.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.latency = LatencyStats(f"{name}_latency")
+        self.sq_wait = LatencyStats(f"{name}_sq_wait")
+        self.arrivals = 0
+        self.admitted = 0
+        self.dropped = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.bytes_completed = 0.0
+
+    def record_arrival(self, admitted: bool) -> None:
+        """Count one arrival and its admission outcome."""
+        self.arrivals += 1
+        if admitted:
+            self.admitted += 1
+        else:
+            self.dropped += 1
+
+    def record_dispatch(self, sq_wait_us: float) -> None:
+        """Count one arbiter fetch and its submission-queue wait."""
+        self.dispatched += 1
+        self.sq_wait.add(sq_wait_us)
+
+    def record_completion(self, latency_us: float, nbytes: float) -> None:
+        """Count one completion with its end-to-end latency."""
+        self.completed += 1
+        self.latency.add(latency_us)
+        self.bytes_completed += nbytes
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline per-tenant numbers."""
+        return {
+            "arrivals": float(self.arrivals),
+            "admitted": float(self.admitted),
+            "dropped": float(self.dropped),
+            "completed": float(self.completed),
+            "bytes": self.bytes_completed,
+            "mean_us": self.latency.mean,
+            "p50_us": self.latency.p50,
+            "p99_us": self.latency.p99,
+            "sq_wait_mean_us": self.sq_wait.mean,
+        }

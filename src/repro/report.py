@@ -23,7 +23,7 @@ import math
 from typing import Any, Dict, Iterable, List, Mapping, Sequence
 
 __all__ = ["flatten", "to_csv", "to_json", "run_result_row",
-           "runner_metrics_row", "series_csv"]
+           "runner_metrics_row", "series_csv", "tenant_result_row"]
 
 _SCALARS = (int, float, str, bool, type(None))
 
@@ -113,6 +113,35 @@ def run_result_row(result, label: str = "") -> Dict[str, Any]:
         row[f"io_breakdown.{component}"] = value
     for component, value in result.gc_breakdown.as_dict().items():
         row[f"gc_breakdown.{component}"] = value
+    return row
+
+
+def tenant_result_row(tenant, label: str = "") -> Dict[str, Any]:
+    """One flat row of a :class:`~repro.core.TenantResult`.
+
+    Carries the tenant's identity (stream name, driver, arbiter) plus
+    admission counters and the latency distribution, so multi-tenant
+    sweeps export per-tenant lines next to the device-level rows.
+    """
+    row: Dict[str, Any] = {"label": label or tenant.name}
+    row.update({
+        "tenant": tenant.name,
+        "driver": tenant.driver,
+        "arbiter": tenant.arbiter,
+        "duration_us": tenant.duration_us,
+        "arrivals": tenant.arrivals,
+        "admitted": tenant.admitted,
+        "dropped": tenant.dropped,
+        "dispatched": tenant.dispatched,
+        "completed": tenant.completed,
+        "iops": tenant.iops,
+        "bandwidth_MBps": tenant.bandwidth,
+        "latency_mean_us": tenant.latency.mean,
+        "latency_p50_us": tenant.latency.p50,
+        "latency_p99_us": tenant.latency.p99,
+        "sq_wait_mean_us": tenant.sq_wait.mean,
+        "sq_wait_p99_us": tenant.sq_wait.p99,
+    })
     return row
 
 

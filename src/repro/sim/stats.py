@@ -98,7 +98,14 @@ class LatencyStats:
         return min(self._samples) if self._samples else 0.0
 
     def pct(self, fraction: float) -> float:
-        """Percentile of the samples, e.g. ``pct(0.99)`` for p99."""
+        """Percentile of the samples, e.g. ``pct(0.99)`` for p99.
+
+        *fraction* must be in ``[0, 1]`` (ValueError otherwise), even
+        on an empty recorder -- an out-of-range tail request is a
+        caller bug regardless of whether samples have landed yet.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if not self._samples:
             return 0.0
         if self._sorted is None:

@@ -119,6 +119,21 @@ class TraceWorkload:
         return IoRequest(op=record.op, lpn=lpn, n_pages=n_pages,
                          dram_hit=dram_hit)
 
+    def peek_timestamp(self) -> Optional[float]:
+        """Timestamp of the record :meth:`next_request` will replay next.
+
+        Returns ``None`` once the trace is exhausted (and ``repeat`` is
+        off).  Open-loop trace replay drivers use this to pace arrivals
+        on the recorded timestamps; with ``repeat=True`` the timestamps
+        restart from the first record each pass, so replay pacing is
+        only meaningful for non-repeating traces.
+        """
+        if self._index >= len(self.records):
+            if not self.repeat:
+                return None
+            return self.records[0].timestamp
+        return self.records[self._index].timestamp
+
     @property
     def read_fraction(self) -> float:
         """Fraction of records that are reads."""

@@ -173,6 +173,29 @@ def test_host_cmd_latency_paid():
     assert sim.now == pytest.approx(2.5)
 
 
+def test_host_submitted_counts_at_slot_acquisition():
+    """A request is submitted once it owns a slot, not after the
+    command overhead -- so submitted/outstanding agree mid-flight."""
+    sim = Simulator()
+    host = HostInterface(sim, queue_depth=4, cmd_latency_us=5.0)
+    observed = []
+
+    def submitter():
+        yield from host.submit()
+
+    def observer():
+        # Mid-flight: after slot acquisition, before cmd_latency elapses.
+        yield sim.timeout(2.0)
+        observed.append((host.submitted, host.outstanding))
+
+    for _ in range(3):
+        sim.process(submitter())
+    sim.process(observer())
+    sim.run()
+    assert observed == [(3, 3)]
+    assert host.submitted - host.completed == host.outstanding
+
+
 def test_host_invalid_parameters():
     with pytest.raises(ConfigError):
         HostInterface(Simulator(), queue_depth=0)

@@ -1,0 +1,276 @@
+"""Unit tests for the multi-queue host frontend building blocks.
+
+Queue pairs, token buckets, QoS policies, and -- most importantly --
+the ordering guarantees of the three NVMe arbitration policies, driven
+directly (no simulator) since arbiters are deterministic over queue
+state plus their own bookkeeping.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.host import (
+    ARBITERS,
+    QosPolicy,
+    QueuePair,
+    RoundRobinArbiter,
+    Sqe,
+    StrictPriorityArbiter,
+    TenantSpec,
+    TokenBucket,
+    WeightedRoundRobinArbiter,
+    make_arbiter,
+)
+from repro.sim import Simulator
+from repro.workloads import SyntheticWorkload
+
+
+# ---------------------------------------------------------------- stand-ins
+
+
+class FakeQueue:
+    """Arbiter-facing queue stand-in: a counter with arbitration attrs."""
+
+    def __init__(self, pending=0, weight=1, priority=0):
+        self.pending = pending
+        self.weight = weight
+        self.priority = priority
+
+    def __len__(self):
+        return self.pending
+
+
+def drain(arbiter, queues, rounds):
+    """Ask the arbiter for *rounds* picks, consuming one entry each."""
+    picks = []
+    for _ in range(rounds):
+        eligible = [len(q) > 0 for q in queues]
+        choice = arbiter.select(eligible)
+        if choice is None:
+            break
+        queues[choice].pending -= 1
+        picks.append(choice)
+    return picks
+
+
+# ---------------------------------------------------------------- QueuePair
+
+
+def test_queue_pair_doorbell_and_slot_lifecycle():
+    sim = Simulator()
+    qp = QueuePair(sim, qid=0, depth=2)
+    first = Sqe("r1", 0, sim.now)
+    second = Sqe("r2", 0, sim.now)
+    third = Sqe("r3", 0, sim.now)
+    assert qp.post(first) and qp.post(second)
+    assert not qp.post(third)          # ring full
+    assert len(qp) == 2 and qp.occupancy == 2
+    fetched = qp.pop()
+    assert fetched is first
+    # The slot stays occupied while the command is in flight.
+    assert len(qp) == 1 and qp.occupancy == 2
+    assert not qp.post(third)
+    qp.complete(fetched)
+    assert qp.occupancy == 1
+    assert qp.post(third)
+    assert qp.doorbells == 3
+
+
+def test_queue_pair_space_waiters_fifo():
+    sim = Simulator()
+    qp = QueuePair(sim, qid=0, depth=1)
+    sqe = Sqe("r", 0, sim.now)
+    assert qp.post(sqe)
+    granted = []
+    for tag in ("a", "b"):
+        def waiter(tag=tag):
+            yield qp.wait_for_space()
+            granted.append(tag)
+        sim.process(waiter())
+    sim.run()
+    assert granted == []               # ring still full
+    fetched = qp.pop()
+    qp.complete(fetched)               # frees one slot -> one grant
+    sim.run()
+    assert granted == ["a"]
+
+
+def test_queue_pair_guards():
+    sim = Simulator()
+    with pytest.raises(ConfigError):
+        QueuePair(sim, 0, depth=0)
+    with pytest.raises(ConfigError):
+        QueuePair(sim, 0, depth=4, weight=0)
+    qp = QueuePair(sim, 0, depth=4)
+    with pytest.raises(ConfigError):
+        qp.pop()
+    with pytest.raises(ConfigError):
+        qp.complete(Sqe("r", 0, 0.0))
+
+
+def test_sqe_wait_split():
+    sim = Simulator()
+    qp = QueuePair(sim, 0, depth=4)
+    sqe = Sqe("r", 0, arrival=sim.now)
+    qp.post(sqe)
+    with pytest.raises(ConfigError):
+        _ = sqe.sq_wait              # not dispatched yet
+
+    def later():
+        yield sim.timeout(3.0)
+        qp.pop()
+
+    sim.process(later())
+    sim.run()
+    assert sqe.sq_wait == pytest.approx(3.0)
+
+
+# ---------------------------------------------------------------- TokenBucket
+
+
+def test_token_bucket_refills_over_sim_time():
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate_per_us=0.5, burst=2.0)   # 1 token / 2 us
+    assert bucket.ready(2.0)
+    bucket.take(2.0)
+    assert not bucket.ready(1.0)
+    assert bucket.ready_at(1.0) == pytest.approx(2.0)
+    sim.run(until=2.0)
+    assert bucket.ready(1.0)
+    assert not bucket.ready(2.0)
+    sim.run(until=100.0)
+    assert bucket.available() == pytest.approx(2.0)          # capped at burst
+
+
+def test_token_bucket_unlimited_and_guards():
+    sim = Simulator()
+    unlimited = TokenBucket(sim, rate_per_us=None)
+    assert unlimited.ready(1e9)
+    unlimited.take(1e9)                                       # no-op
+    with pytest.raises(ConfigError):
+        TokenBucket(sim, rate_per_us=0.0)
+    with pytest.raises(ConfigError):
+        TokenBucket(sim, rate_per_us=1.0, burst=0.5)
+    bucket = TokenBucket(sim, rate_per_us=1.0, burst=2.0)
+    with pytest.raises(ConfigError):
+        bucket.ready_at(3.0)                                  # above burst
+    bucket.take(2.0)
+    with pytest.raises(ConfigError):
+        bucket.take(1.0)                                      # underflow
+
+
+# ---------------------------------------------------------------- QosPolicy
+
+
+def test_qos_policy_validation_and_bucket():
+    with pytest.raises(ConfigError):
+        QosPolicy(rate_iops=-5.0)
+    with pytest.raises(ConfigError):
+        QosPolicy(weight=0)
+    with pytest.raises(ConfigError):
+        QosPolicy(sq_depth=0)
+    with pytest.raises(ConfigError):
+        QosPolicy(burst_ops=0.0)
+    policy = QosPolicy(rate_iops=1_000_000.0, burst_ops=2.0)
+    assert policy.rate_per_us == pytest.approx(1.0)
+    bucket = policy.make_bucket(Simulator())
+    assert bucket.burst == 2.0
+    assert QosPolicy().rate_per_us is None
+
+
+# ---------------------------------------------------------------- TenantSpec
+
+
+def test_tenant_spec_validation():
+    workload = SyntheticWorkload()
+    with pytest.raises(ConfigError):
+        TenantSpec(name="", workload=workload)
+    with pytest.raises(ConfigError):
+        TenantSpec(name="t", workload=workload, driver="fuzz")
+    with pytest.raises(ConfigError):
+        TenantSpec(name="t", workload=workload, driver="poisson")
+    with pytest.raises(ConfigError):
+        TenantSpec(name="t", workload=workload, queue_depth=0)
+    spec = TenantSpec(name="t", workload=workload, driver="poisson",
+                      rate_iops=1e6)
+    assert spec.arrival_interval_us == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------- arbiters
+
+
+def test_round_robin_cycles_fairly():
+    queues = [FakeQueue(pending=10) for _ in range(3)]
+    arbiter = RoundRobinArbiter(queues)
+    picks = drain(arbiter, queues, 9)
+    assert picks == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_skips_empty_queues():
+    queues = [FakeQueue(pending=0), FakeQueue(pending=2),
+              FakeQueue(pending=0), FakeQueue(pending=2)]
+    arbiter = RoundRobinArbiter(queues)
+    assert drain(arbiter, queues, 10) == [1, 3, 1, 3]
+    assert arbiter.select([False] * 4) is None
+
+
+def test_round_robin_burst_continuation():
+    queues = [FakeQueue(pending=5), FakeQueue(pending=5)]
+    arbiter = RoundRobinArbiter(queues, burst=3)
+    assert drain(arbiter, queues, 8) == [0, 0, 0, 1, 1, 1, 0, 0]
+
+
+def test_wrr_converges_to_weight_ratio():
+    queues = [FakeQueue(pending=300, weight=3),
+              FakeQueue(pending=300, weight=1)]
+    arbiter = WeightedRoundRobinArbiter(queues)
+    picks = drain(arbiter, queues, 200)
+    assert picks.count(0) == 150 and picks.count(1) == 50
+    # Weight ratio holds over every full round (4 picks).
+    for start in range(0, 200, 4):
+        window = picks[start:start + 4]
+        assert window.count(0) == 3 and window.count(1) == 1
+
+
+def test_wrr_gives_leftover_service_to_backlogged_queue():
+    queues = [FakeQueue(pending=2, weight=3), FakeQueue(pending=50, weight=1)]
+    arbiter = WeightedRoundRobinArbiter(queues)
+    picks = drain(arbiter, queues, 12)
+    # Once queue 0 drains, queue 1 gets every remaining fetch.
+    assert picks.count(0) == 2
+    assert picks.count(1) == 10
+
+
+def test_strict_priority_starves_lower_class():
+    queues = [FakeQueue(pending=5, priority=2),
+              FakeQueue(pending=5, priority=0),
+              FakeQueue(pending=5, priority=1)]
+    arbiter = StrictPriorityArbiter(queues)
+    picks = drain(arbiter, queues, 15)
+    assert picks[:5] == [1] * 5          # highest class first
+    assert picks[5:10] == [2] * 5        # then the middle one
+    assert picks[10:] == [0] * 5
+
+
+def test_strict_priority_round_robins_within_class():
+    queues = [FakeQueue(pending=4, priority=0),
+              FakeQueue(pending=4, priority=0),
+              FakeQueue(pending=4, priority=5)]
+    arbiter = StrictPriorityArbiter(queues)
+    picks = drain(arbiter, queues, 8)
+    assert picks == [0, 1, 0, 1, 0, 1, 0, 1]
+
+
+def test_make_arbiter_registry():
+    queues = [FakeQueue(pending=1)]
+    assert isinstance(make_arbiter("rr", queues), RoundRobinArbiter)
+    assert isinstance(make_arbiter("wrr", queues),
+                      WeightedRoundRobinArbiter)
+    assert isinstance(make_arbiter("prio", queues), StrictPriorityArbiter)
+    assert set(ARBITERS) == {"rr", "wrr", "prio"}
+    with pytest.raises(ConfigError):
+        make_arbiter("lottery", queues)
+    with pytest.raises(ConfigError):
+        make_arbiter("rr", [])
+    with pytest.raises(ConfigError):
+        make_arbiter("rr", queues, burst=0)

@@ -29,6 +29,25 @@ def test_percentile_errors():
         percentile([], 0.5)
     with pytest.raises(ValueError):
         percentile([1.0], 1.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], -0.01)
+
+
+def test_latency_stats_pct_validates_fraction():
+    stats = LatencyStats()
+    stats.add(1.0)
+    with pytest.raises(ValueError):
+        stats.pct(1.5)
+    with pytest.raises(ValueError):
+        stats.pct(-0.2)
+
+
+def test_latency_stats_pct_validates_fraction_when_empty():
+    """Out-of-range fractions are rejected even before any sample."""
+    stats = LatencyStats()
+    with pytest.raises(ValueError):
+        stats.pct(99.0)
+    assert stats.pct(0.99) == 0.0
 
 
 @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=200),
