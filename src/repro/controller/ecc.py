@@ -46,19 +46,34 @@ class EccEngine:
         """Service time for checking *nbytes* of data."""
         return self.fixed_latency_us + nbytes / self.throughput
 
-    def check(self, nbytes: int, priority: int = 0) -> Generator:
-        """Generator: run one page through the engine; returns lane wait."""
+    def check(self, nbytes: int, priority: int = 0,
+              scale: float = 1.0) -> Generator:
+        """Generator: run one page through the engine; returns lane wait.
+
+        ``scale`` multiplies the decode time; read-retry ladder steps use
+        it for escalating soft-decision decode latency.  The hold is
+        interrupt-safe: the lane is returned and ``busy_time`` /
+        ``pages_checked`` are settled in the same ``finally`` even when
+        the calling process is preempted mid-decode, so utilization no
+        longer under-reports under preemptive GC.
+        """
         if nbytes <= 0:
             raise ConfigError(f"ECC check of {nbytes} bytes")
+        if scale <= 0:
+            raise ConfigError(f"ECC decode scale must be positive: {scale}")
         t_request = self.sim.now
-        yield self._lanes.request(priority)
-        wait = self.sim.now - t_request
-        duration = self.decode_time(nbytes)
-        yield self.sim.timeout(duration)
-        self._lanes.release()
-        self.pages_checked += 1
-        self.busy_time += duration
-        return wait
+        grant = self._lanes.request(priority)
+        service_start = None
+        try:
+            yield grant
+            service_start = self.sim.now
+            yield self.sim.timeout(self.decode_time(nbytes) * scale)
+        finally:
+            if service_start is not None:
+                self.busy_time += self.sim.now - service_start
+                self.pages_checked += 1
+            self._lanes.cancel(grant)
+        return service_start - t_request
 
     def utilization(self, horizon: float = None) -> float:
         """Busy fraction of the engine (sums over lanes)."""

@@ -37,6 +37,12 @@ class FlashController:
         self.pages_read = 0
         self.pages_programmed = 0
         self.blocks_erased = 0
+        #: Optional :class:`~repro.reliability.FaultInjector`.  When set,
+        #: array reads and channel transfers roll transient faults and
+        #: pay detection-timeout + exponential-backoff retries.  Array
+        #: programs are never re-issued (NAND forbids reprogramming a
+        #: page without an erase); only their bus transfer is retried.
+        self.fault_injector = None
 
     def _check_owns(self, addr: PhysAddr) -> None:
         if addr.channel != self.controller_id:
@@ -52,31 +58,72 @@ class FlashController:
 
     # -- single-page operations ----------------------------------------------
 
+    def _fault_backoff(self, attempt: int,
+                       breakdown: Breakdown) -> Generator:
+        """Pay the fault detection/backoff delay; returns whether to retry."""
+        t0 = self.sim.now
+        proceed = yield from self.fault_injector.backoff_wait(attempt)
+        breakdown.add("other", self.sim.now - t0)
+        return proceed
+
     def read_page(self, addr: PhysAddr, traffic_class: str = "io",
                   breakdown: Breakdown = None,
                   priority: int = None) -> Generator:
-        """Generator: array read then bus transfer to the controller."""
+        """Generator: array read then bus transfer to the controller.
+
+        With a fault injector attached, a transient die fault forces the
+        (idempotent) array read to be re-issued and a transient channel
+        fault forces the bus transfer to be repeated, each after a
+        detection timeout with exponential backoff.
+        """
         self._check_owns(addr)
         breakdown = breakdown if breakdown is not None else Breakdown()
-        op = yield from self.backend.read(addr)
-        breakdown.add("flash_chip", op.total)
-        t0 = self.sim.now
-        yield from self.channel.transfer(self.page_size, traffic_class,
-                                         priority)
-        breakdown.add("flash_bus", self.sim.now - t0)
+        injector = self.fault_injector
+        attempt = 1
+        while True:
+            op = yield from self.backend.read(addr)
+            breakdown.add("flash_chip", op.total)
+            if injector is None or not injector.die_fault():
+                break
+            if not (yield from self._fault_backoff(attempt, breakdown)):
+                break
+            attempt += 1
+        attempt = 1
+        while True:
+            t0 = self.sim.now
+            yield from self.channel.transfer(self.page_size, traffic_class,
+                                             priority)
+            breakdown.add("flash_bus", self.sim.now - t0)
+            if injector is None or not injector.channel_fault():
+                break
+            if not (yield from self._fault_backoff(attempt, breakdown)):
+                break
+            attempt += 1
         self.pages_read += 1
         return breakdown
 
     def program_page(self, addr: PhysAddr, traffic_class: str = "io",
                      breakdown: Breakdown = None,
                      priority: int = None) -> Generator:
-        """Generator: bus transfer into the register, then array program."""
+        """Generator: bus transfer into the register, then array program.
+
+        A transient channel fault repeats the register load (retry with
+        backoff); the array program itself is issued exactly once.
+        """
         self._check_owns(addr)
         breakdown = breakdown if breakdown is not None else Breakdown()
-        t0 = self.sim.now
-        yield from self.channel.transfer(self.page_size, traffic_class,
-                                         priority)
-        breakdown.add("flash_bus", self.sim.now - t0)
+        injector = self.fault_injector
+        attempt = 1
+        while True:
+            t0 = self.sim.now
+            yield from self.channel.transfer(self.page_size, traffic_class,
+                                             priority)
+            breakdown.add("flash_bus", self.sim.now - t0)
+            if injector is None or not injector.channel_fault():
+                break
+            if not (yield from self._fault_backoff(attempt, breakdown)):
+                break
+            attempt += 1
         op = yield from self.backend.program(addr)
         breakdown.add("flash_chip", op.total)
         self.pages_programmed += 1

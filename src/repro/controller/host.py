@@ -58,10 +58,25 @@ class HostInterface:
         so ``submitted - completed == outstanding`` holds at every
         instant.
         """
-        yield self._slots.acquire(1)
-        self.submitted += 1
-        if self.cmd_latency_us > 0:
-            yield self.sim.timeout(self.cmd_latency_us)
+        grant = self._slots.acquire(1)
+        counted = False
+        done = False
+        try:
+            yield grant
+            self.submitted += 1
+            counted = True
+            if self.cmd_latency_us > 0:
+                yield self.sim.timeout(self.cmd_latency_us)
+            done = True
+        finally:
+            # Interrupted while admitting: roll the admission back so the
+            # queue slot (and the submitted/outstanding invariant) is not
+            # leaked.  The caller pairs complete() only with a submit()
+            # that returned normally.
+            if not done:
+                self._slots.cancel(grant)
+                if counted:
+                    self.submitted -= 1
 
     def complete(self) -> None:
         """Release the queue slot of a finished request."""

@@ -127,6 +127,13 @@ class SSDConfig:
     #: Model wear-dependent read retries on the I/O read path.
     read_retry: bool = False
 
+    #: Optional :class:`~repro.reliability.ReliabilityConfig`.  When set
+    #: the device gets the full reliability stack: RBER sampling with an
+    #: ECC read-retry ladder on every read-verify, GC copy error
+    #: propagation tracking, bad-block remap/retirement, and transient
+    #: fault injection.  Supersedes ``read_retry`` on the read path.
+    reliability: Optional[object] = None
+
     # fNoC (dSSD_f only).
     fnoc_topology: str = "mesh1d"
     #: None derives the paper default: router channels at 2x the flash
@@ -165,6 +172,14 @@ class SSDConfig:
             )
         if self.arb_burst < 1:
             raise ConfigError(f"arb_burst must be >= 1: {self.arb_burst}")
+        if self.reliability is not None:
+            from ..reliability import ReliabilityConfig
+
+            if not isinstance(self.reliability, ReliabilityConfig):
+                raise ConfigError(
+                    f"reliability must be a ReliabilityConfig, got "
+                    f"{type(self.reliability).__name__}"
+                )
         if not ArchPreset.BASELINE.value:  # pragma: no cover - sanity
             raise ConfigError("enum corrupted")
 

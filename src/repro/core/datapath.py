@@ -50,6 +50,10 @@ class BaselineDatapath:
         #: worn blocks pay read-retry passes (extra array read + ECC).
         self.wear_model = None
         self.read_retries_performed = 0
+        #: Optional :class:`~repro.reliability.ReliabilityEngine`.  When
+        #: attached it owns the read-verify path (RBER sampling + ECC
+        #: read-retry ladder) and the copy error-propagation bookkeeping.
+        self.reliability = None
         # GC copies stage through each controller's page buffers; the
         # buffer capacity bounds in-flight GC pages per channel exactly
         # as the dBUF does in the decoupled architectures (keeping the
@@ -119,13 +123,18 @@ class BaselineDatapath:
         addr = self.remap(addr)
         controller = self.controller_for(addr)
         yield from controller.read_page(addr, "io", breakdown, priority)
-        yield from self._ecc(self.ecc_for(addr.channel), self.page_size,
-                             breakdown, priority)
-        for _retry in range(self._read_retries(addr)):
-            self.read_retries_performed += 1
-            yield from controller.read_page(addr, "io", breakdown, priority)
-            yield from self._ecc(self.ecc_for(addr.channel),
-                                 self.page_size, breakdown, priority)
+        if self.reliability is not None:
+            yield from self.reliability.post_read(addr, breakdown,
+                                                  priority, "io")
+        else:
+            yield from self._ecc(self.ecc_for(addr.channel), self.page_size,
+                                 breakdown, priority)
+            for _retry in range(self._read_retries(addr)):
+                self.read_retries_performed += 1
+                yield from controller.read_page(addr, "io", breakdown,
+                                                priority)
+                yield from self._ecc(self.ecc_for(addr.channel),
+                                     self.page_size, breakdown, priority)
         yield from self._bus(self.page_size, "io", breakdown, priority)
 
     def io_flush_write(self, addr: PhysAddr,
@@ -136,6 +145,8 @@ class BaselineDatapath:
         yield from self._bus(self.page_size, "io", breakdown)
         yield from self.controller_for(addr).program_page(addr, "io",
                                                           breakdown)
+        if self.reliability is not None:
+            self.reliability.on_program(addr)
 
     def io_program(self, addr: PhysAddr, breakdown: Breakdown,
                    priority: int = 0) -> Generator:
@@ -145,6 +156,8 @@ class BaselineDatapath:
         yield from self.controller_for(addr).program_page(addr, "io",
                                                           breakdown,
                                                           priority)
+        if self.reliability is not None:
+            self.reliability.on_program(addr)
 
     # -- garbage-collection paths ---------------------------------------------------
 
@@ -161,21 +174,39 @@ class BaselineDatapath:
             src = self.remap(src)
             dst = self.remap(dst)
         breakdown = Breakdown()
+        outcome = None
         src_pool = self.gc_staging[src.channel]
-        yield src_pool.acquire(1)
-        yield from self.controller_for(src).read_page(src, "gc", breakdown)
-        yield from self._bus(self.page_size, "gc", breakdown)
-        yield from self._ecc(self.ecc_for(src.channel), self.page_size,
-                             breakdown)
-        yield from self._dram(self.page_size, "gc", breakdown, "write")
-        src_pool.release(1)
+        src_grant = src_pool.acquire(1)
+        try:
+            yield src_grant
+            yield from self.controller_for(src).read_page(src, "gc",
+                                                          breakdown)
+            yield from self._bus(self.page_size, "gc", breakdown)
+            # The conventional GC copy always passes the front-end ECC,
+            # so errors never propagate -- at the price of crossing the
+            # whole front-end (the paper's Fig 1 argument).
+            if self.reliability is not None:
+                outcome = yield from self.reliability.post_read(
+                    src, breakdown, 0, "gc")
+            else:
+                yield from self._ecc(self.ecc_for(src.channel),
+                                     self.page_size, breakdown)
+            yield from self._dram(self.page_size, "gc", breakdown, "write")
+        finally:
+            src_pool.cancel(src_grant)
         dst_pool = self.gc_staging[dst.channel]
-        yield dst_pool.acquire(1)
-        yield from self._dram(self.page_size, "gc", breakdown, "read")
-        yield from self._bus(self.page_size, "gc", breakdown)
-        yield from self.controller_for(dst).program_page(dst, "gc",
-                                                         breakdown)
-        dst_pool.release(1)
+        dst_grant = dst_pool.acquire(1)
+        try:
+            yield dst_grant
+            yield from self._dram(self.page_size, "gc", breakdown, "read")
+            yield from self._bus(self.page_size, "gc", breakdown)
+            yield from self.controller_for(dst).program_page(dst, "gc",
+                                                             breakdown)
+            if self.reliability is not None:
+                self.reliability.commit_copy(src, dst, checked=True,
+                                             outcome=outcome)
+        finally:
+            dst_pool.cancel(dst_grant)
         return breakdown
 
     def gc_erase(self, addr: PhysAddr, apply_remap: bool = True) -> Generator:
@@ -185,6 +216,8 @@ class BaselineDatapath:
         breakdown = Breakdown()
         yield from self.controller_for(addr).erase_block(addr, "gc",
                                                          breakdown)
+        if self.reliability is not None:
+            self.reliability.on_erase_block(addr)
         return breakdown
 
 
@@ -241,44 +274,63 @@ class DecoupledDatapath(BaselineDatapath):
         if len(self.copyback_log) < self.copyback_log_limit:
             self.copyback_log.append(command)
         breakdown = Breakdown()
+        outcome = None
 
         # (2,3) read the page into the source controller's dBUF.
         src_dbuf = self.dbufs[src.channel]
-        yield src_dbuf.acquire(1)
-        yield from self.controller_for(src).read_page(src, "gc", breakdown)
-        command.advance(CopybackStatus.READ, self.sim.now)
+        src_grant = src_dbuf.acquire(1)
+        src_held = True
+        try:
+            yield src_grant
+            yield from self.controller_for(src).read_page(src, "gc",
+                                                          breakdown)
+            command.advance(CopybackStatus.READ, self.sim.now)
 
-        # (4) error check with the integrated ECC engine.
-        if self.check_ecc:
-            yield from self._ecc(self.ecc_for(src.channel), self.page_size,
-                                 breakdown)
-        else:
-            self.unchecked_copies += 1
-        command.advance(CopybackStatus.READ_ECC, self.sim.now)
+            # (4) error check with the integrated ECC engine.
+            if self.check_ecc:
+                if self.reliability is not None:
+                    outcome = yield from self.reliability.post_read(
+                        src, breakdown, 0, "gc")
+                else:
+                    yield from self._ecc(self.ecc_for(src.channel),
+                                         self.page_size, breakdown)
+            else:
+                self.unchecked_copies += 1
+            command.advance(CopybackStatus.READ_ECC, self.sim.now)
 
-        if command.is_local:
-            # Same channel: program straight from the source dBUF.
-            yield from self.controller_for(dst).program_page(dst, "gc",
-                                                             breakdown)
-            src_dbuf.release(1)
-            command.advance(CopybackStatus.WRITTEN, self.sim.now)
-        else:
-            # (5-8) packetize, traverse the interconnect into the
-            # destination dBUF, then (9,10) program at the destination.
-            # The source slot is released once the page is handed to the
-            # network interface -- holding both slots while waiting for
-            # the destination could deadlock opposing copyback streams.
-            command.advance(CopybackStatus.PACKETIZED, self.sim.now)
-            src_dbuf.release(1)
-            dst_dbuf = self.dbufs[dst.channel]
-            yield dst_dbuf.acquire(1)
-            yield from self.transport.move(src.channel, dst.channel,
-                                           self.page_size, breakdown)
-            command.advance(CopybackStatus.TRANSFERRED, self.sim.now)
-            yield from self.controller_for(dst).program_page(dst, "gc",
-                                                             breakdown)
-            dst_dbuf.release(1)
-            command.advance(CopybackStatus.WRITTEN, self.sim.now)
+            if command.is_local:
+                # Same channel: program straight from the source dBUF.
+                yield from self.controller_for(dst).program_page(dst, "gc",
+                                                                 breakdown)
+                command.advance(CopybackStatus.WRITTEN, self.sim.now)
+            else:
+                # (5-8) packetize, traverse the interconnect into the
+                # destination dBUF, then (9,10) program at the
+                # destination.  The source slot is released once the page
+                # is handed to the network interface -- holding both
+                # slots while waiting for the destination could deadlock
+                # opposing copyback streams.
+                command.advance(CopybackStatus.PACKETIZED, self.sim.now)
+                src_dbuf.cancel(src_grant)
+                src_held = False
+                dst_dbuf = self.dbufs[dst.channel]
+                dst_grant = dst_dbuf.acquire(1)
+                try:
+                    yield dst_grant
+                    yield from self.transport.move(src.channel, dst.channel,
+                                                   self.page_size, breakdown)
+                    command.advance(CopybackStatus.TRANSFERRED, self.sim.now)
+                    yield from self.controller_for(dst).program_page(
+                        dst, "gc", breakdown)
+                    command.advance(CopybackStatus.WRITTEN, self.sim.now)
+                finally:
+                    dst_dbuf.cancel(dst_grant)
+        finally:
+            if src_held:
+                src_dbuf.cancel(src_grant)
 
+        if self.reliability is not None:
+            self.reliability.commit_copy(src, dst, checked=self.check_ecc,
+                                         outcome=outcome)
         self.copybacks_completed += 1
         return breakdown

@@ -233,6 +233,15 @@ class SimulatedSSD:
                 interval_us=config.wear_level_interval_us,
                 threshold=config.wear_level_threshold,
             )
+        self.reliability = None
+        if config.reliability is not None:
+            from ..reliability import ReliabilityEngine
+
+            self.reliability = ReliabilityEngine(
+                self.sim, self.backend, self.blocks, config.reliability,
+                seed=config.seed,
+            )
+            self.reliability.attach(self.datapath)
         self.frontend: Optional[MultiQueueFrontend] = None
         self.lpn_space = 0
         self._prefilled = False
@@ -488,6 +497,9 @@ class SimulatedSSD:
         )
         result.extras["gc_move_latency_us"] = result.gc_breakdown.total
         result.extras["free_fraction_end"] = self.blocks.free_fraction
+        if self.reliability is not None:
+            for key, value in self.reliability.stats_dict().items():
+                result.extras[f"rel_{key}"] = value
         return result
 
 

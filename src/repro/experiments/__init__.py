@@ -27,6 +27,7 @@ from . import (
     fig15_srt_performance,
     fig16_srt_size,
     fig17_multitenant,
+    fig_reliability,
     table3_qualitative,
 )
 from .common import ARCH_ORDER, format_table, gc_burst_run, steady_run
@@ -52,6 +53,7 @@ EXPERIMENTS = {
     "fig17": fig17_multitenant,
     "table3": table3_qualitative,
     "ablations": ablations,
+    "reliability": fig_reliability,
 }
 
 __all__ = [

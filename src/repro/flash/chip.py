@@ -81,15 +81,25 @@ class FlashPlane:
         self.op_counts: Dict[str, int] = {"read": 0, "program": 0, "erase": 0}
 
     def occupy(self, duration: float, op: str) -> Generator:
-        """Generator: hold the plane for *duration*, yielding wait time."""
+        """Generator: hold the plane for *duration*, yielding wait time.
+
+        Interrupt-safe: the plane slot is returned (and the busy time
+        actually consumed is accounted) in a ``finally``, so a process
+        preempted mid-operation cannot leak the plane.
+        """
         t_request = self.sim.now
-        yield self.resource.request()
-        wait = self.sim.now - t_request
-        yield self.sim.timeout(duration)
-        self.resource.release()
-        self.busy_time += duration
-        self.op_counts[op] = self.op_counts.get(op, 0) + 1
-        return wait
+        grant = self.resource.request()
+        service_start = None
+        try:
+            yield grant
+            service_start = self.sim.now
+            yield self.sim.timeout(duration)
+        finally:
+            if service_start is not None:
+                self.busy_time += self.sim.now - service_start
+                self.op_counts[op] = self.op_counts.get(op, 0) + 1
+            self.resource.cancel(grant)
+        return service_start - t_request
 
     def utilization(self, horizon: Optional[float] = None) -> float:
         """Busy fraction of the plane over ``[0, horizon]``."""

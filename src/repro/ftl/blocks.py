@@ -17,7 +17,7 @@ from ..errors import AddressError, MappingError
 from ..flash import FlashGeometry, PhysAddr
 
 __all__ = ["BlockInfo", "BlockManager", "FREE", "ACTIVE", "FULL", "BAD",
-           "COLLECTING"]
+           "COLLECTING", "SPARE"]
 
 FREE = "free"
 ACTIVE = "active"
@@ -26,6 +26,10 @@ BAD = "bad"
 #: Transitional state: a GC or wear-leveling worker owns the block and
 #: is migrating its pages; nobody else may select it.
 COLLECTING = "collecting"
+#: Withdrawn from the free pools as a bad-block replacement spare; the
+#: FTL never addresses it directly (the reliability layer remaps onto
+#: it below the FTL).
+SPARE = "spare"
 
 
 class BlockInfo:
@@ -84,6 +88,7 @@ class BlockManager:
         self._cursor = 0
         self.free_blocks = geometry.blocks_total
         self.bad_blocks = 0
+        self.spare_blocks = 0
 
         for block_index in range(geometry.blocks_total):
             addr = geometry.block_addr_of(block_index)
@@ -98,8 +103,9 @@ class BlockManager:
 
     @property
     def free_fraction(self) -> float:
-        """Fraction of non-bad blocks that are free."""
-        usable = self.geometry.blocks_total - self.bad_blocks
+        """Fraction of non-bad, non-spare blocks that are free."""
+        usable = (self.geometry.blocks_total - self.bad_blocks
+                  - self.spare_blocks)
         return self.free_blocks / usable if usable else 0.0
 
     def plane_free_blocks(self, plane: int) -> int:
@@ -256,6 +262,23 @@ class BlockManager:
             self.geometry.block_index(addr)
         )
         self.free_blocks += 1
+
+    def withdraw_spare(self, plane: int) -> Optional[PhysAddr]:
+        """Withdraw one free block from *plane* as a replacement spare.
+
+        Takes from the back of the free pool and refuses to dip into
+        the GC reserve (spares never cost write liveness).  Returns the
+        block address, or None when the plane cannot spare one.
+        """
+        free_pool = self._free[plane]
+        if len(free_pool) <= self.gc_reserve_blocks + 1:
+            return None
+        block_index = free_pool.pop()
+        info = self.blocks[block_index]
+        info.state = SPARE
+        self.free_blocks -= 1
+        self.spare_blocks += 1
+        return info.addr
 
     def mark_bad(self, addr: PhysAddr) -> None:
         """Permanently retire the block containing *addr*."""

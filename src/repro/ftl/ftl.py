@@ -84,16 +84,21 @@ class Ftl:
 
     def _handle(self, request: IoRequest) -> Generator:
         request.issue_time = self.sim.now
+        # host.submit() is itself exception-safe: an interrupt while
+        # waiting for (or settling into) the queue slot rolls the
+        # admission back before the exception reaches this frame.
         yield from self.host.submit()
         breakdown = Breakdown()
-        if request.op == WRITE:
-            yield from self._handle_write(request, breakdown)
-        elif request.op == TRIM:
-            yield from self._handle_trim(request, breakdown)
-        else:
-            yield from self._handle_read(request, breakdown)
-        request.complete_time = self.sim.now
-        self.host.complete()
+        try:
+            if request.op == WRITE:
+                yield from self._handle_write(request, breakdown)
+            elif request.op == TRIM:
+                yield from self._handle_trim(request, breakdown)
+            else:
+                yield from self._handle_read(request, breakdown)
+            request.complete_time = self.sim.now
+        finally:
+            self.host.complete()
         self._record(request, breakdown)
         return request
 
@@ -170,14 +175,25 @@ class Ftl:
                       priority: int = 0) -> Generator:
         """Write-back: stage one page in the DRAM buffer."""
         coalesced = lpn in self._dirty
+        grant = None
         if not coalesced:
             # May backpressure: the buffer is full until a flush completes.
-            yield self.datapath.dram.reserve_buffer_page()
-        yield from self.datapath.io_dram_rw(self.geometry.page_size,
-                                            breakdown, priority=priority)
-        if not coalesced:
-            self._dirty[lpn] = True
-            self._flush_queue.put(lpn)
+            grant = self.datapath.dram.reserve_buffer_page()
+        staged = False
+        try:
+            if grant is not None:
+                yield grant
+            yield from self.datapath.io_dram_rw(self.geometry.page_size,
+                                                breakdown, priority=priority)
+            if not coalesced:
+                self._dirty[lpn] = True
+                self._flush_queue.put(lpn)
+                staged = True
+        finally:
+            # On an interrupt before the page is staged, the reserved
+            # buffer slot would otherwise never be flushed-and-released.
+            if grant is not None and not staged:
+                self.datapath.dram.write_buffer.cancel(grant)
 
     def _write_through_page(self, lpn: int, breakdown: Breakdown,
                             priority: int = 0) -> Generator:
@@ -214,8 +230,12 @@ class Ftl:
             self._dirty.pop(lpn, None)
             addr = yield from self._allocate_with_gc()
             breakdown = Breakdown()
-            yield from self.datapath.io_flush_write(addr, breakdown)
-            self.datapath.dram.release_buffer_page()
+            try:
+                yield from self.datapath.io_flush_write(addr, breakdown)
+            finally:
+                # Even if this flusher is killed mid-write, the buffer
+                # slot must come back -- host writes backpressure on it.
+                self.datapath.dram.release_buffer_page()
             self._bind(lpn, addr)
             self.gc.maybe_trigger()
 

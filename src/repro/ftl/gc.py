@@ -38,6 +38,8 @@ class GcStats:
         self.pages_dropped = 0      # invalidated mid-flight
         self.alloc_stalls = 0       # destination allocation retries
         self.blocks_erased = 0
+        self.blocks_retired = 0     # worn out, no spare left -> marked bad
+        self.blocks_remapped = 0    # worn out, remapped onto a spare
         self.episodes = 0
         self.busy_time = 0.0
         self.move_breakdowns: List[Breakdown] = []
@@ -209,20 +211,38 @@ class GarbageCollector:
             chunk = pages[start:start + burst]
             if self.policy == "preemptive":
                 yield from self._wait_for_io_quiet()
-            if gated:
-                yield self._tt_tokens.request()
-            moves = [self.sim.process(self._move_page(src))
-                     for src in chunk]
-            yield self.sim.all_of(moves)
-            if gated:
-                self._tt_tokens.release()
+            grant = self._tt_tokens.request() if gated else None
+            try:
+                if grant is not None:
+                    yield grant
+                moves = [self.sim.process(self._move_page(src))
+                         for src in chunk]
+                yield self.sim.all_of(moves)
+            finally:
+                if grant is not None:
+                    self._tt_tokens.cancel(grant)
 
-        if gated:
-            yield self._tt_tokens.request()
-        yield from self.datapath.gc_erase(victim)
-        if gated:
-            self._tt_tokens.release()
-        self.blocks.release_block(victim)
+        grant = self._tt_tokens.request() if gated else None
+        try:
+            if grant is not None:
+                yield grant
+            yield from self.datapath.gc_erase(victim)
+        finally:
+            if grant is not None:
+                self._tt_tokens.cancel(grant)
+        # An erase is the point where wear-out shows: the reliability
+        # layer may remap the worn block onto a spare (SRT) or retire it
+        # outright, in which case it must not rejoin the free pool.
+        reliability = getattr(self.datapath, "reliability", None)
+        verdict = "ok"
+        if reliability is not None:
+            verdict = reliability.after_erase(victim)
+        if verdict == "retired":
+            self.stats.blocks_retired += 1
+        else:
+            if verdict == "remapped":
+                self.stats.blocks_remapped += 1
+            self.blocks.release_block(victim)
         self.stats.blocks_erased += 1
 
     def _move_page(self, src: PhysAddr) -> Generator:

@@ -62,11 +62,11 @@ class StaticWearLeveler:
             self.sim.process(self._loop(), name="wear_leveler")
 
     def erase_spread(self) -> int:
-        """Max minus min erase count across non-bad blocks."""
+        """Max minus min erase count across non-bad, non-spare blocks."""
         counts = [
             self.backend.erase_count(info.addr)
             for info in self.blocks.blocks.values()
-            if info.state != "bad"
+            if info.state not in ("bad", "spare")
         ]
         if not counts:
             return 0
@@ -130,5 +130,10 @@ class StaticWearLeveler:
                 self.blocks.commit_page(dst, valid=False)
                 self.blocks.invalidate(src)
         yield from self.datapath.gc_erase(victim)
-        self.blocks.release_block(victim)
+        reliability = getattr(self.datapath, "reliability", None)
+        verdict = "ok"
+        if reliability is not None:
+            verdict = reliability.after_erase(victim)
+        if verdict != "retired":
+            self.blocks.release_block(victim)
         self.migrations += 1

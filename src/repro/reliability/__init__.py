@@ -1,0 +1,43 @@
+"""Reliability layer: RBER, ECC read-retry ladder, bad blocks, faults.
+
+The paper's copyback argument (Sec 4.2) is about *error propagation*:
+legacy copyback moves raw pages without passing an ECC engine, so bit
+errors accumulate silently across GC generations, while the decoupled
+controller's integrated ECC checks every global-copyback hop.  This
+package makes that argument measurable:
+
+* :class:`RberModel` -- seeded raw bit-error rate per block as a
+  function of P/E cycles and retention age;
+* :class:`EccLadder` -- the read-retry ladder layered on
+  :class:`~repro.controller.EccEngine` (escalating decode latency,
+  then RAID-like recovery or an uncorrectable page);
+* :class:`BadBlockManager` -- wear-out retirement feeding the
+  superblock SRT/RBT remap tables;
+* :class:`FaultInjector` -- transient channel/die faults with
+  retry/timeout/backoff in the flash controllers;
+* :class:`ReliabilityEngine` -- the composition wired into the
+  datapaths, the FTL and both controller types.
+
+Everything is driven by seeded ``random.Random`` streams consumed in
+event order on the single-threaded DES loop, so results are
+deterministic under a fixed seed and the experiment runner cache stays
+valid.
+"""
+
+from .badblocks import BadBlockManager
+from .config import ReliabilityConfig
+from .engine import ReliabilityEngine
+from .faults import FaultInjector
+from .ladder import EccLadder
+from .rber import RberModel, pe_fraction_at_rber, poisson
+
+__all__ = [
+    "BadBlockManager",
+    "EccLadder",
+    "FaultInjector",
+    "RberModel",
+    "ReliabilityConfig",
+    "ReliabilityEngine",
+    "pe_fraction_at_rber",
+    "poisson",
+]

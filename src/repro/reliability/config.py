@@ -1,0 +1,111 @@
+"""Knob surface of the reliability layer.
+
+A single frozen dataclass so experiment point functions can rebuild it
+from JSON parameters (the runner cache keys on those) and
+:class:`~repro.core.config.SSDConfig` can carry it as one optional
+field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+from ..flash.wear import PAPER_PE_MEAN, PAPER_PE_SIGMA
+
+__all__ = ["ReliabilityConfig"]
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Every tunable of the reliability subsystem."""
+
+    #: Fresh-block raw bit error rate (errors per bit per read).
+    base_rber: float = 1e-7
+    #: Exponential wear growth: ``rber = base * exp(growth * pe/limit)``.
+    rber_growth: float = 8.0
+    #: Linear retention multiplier per millisecond since program.
+    retention_per_ms: float = 0.0
+
+    # Per-block P/E limits (paper Table 1 Gaussian by default).
+    pe_mean: float = PAPER_PE_MEAN
+    pe_sigma: float = PAPER_PE_SIGMA
+
+    #: Correctable bits per page at each ladder step; step 0 is the
+    #: normal hard decode, later steps are read-retry passes (re-read
+    #: with shifted references + stronger soft decode).
+    ladder_correct_bits: Tuple[int, ...] = (40, 60, 72)
+    #: Decode-time multiplier per ladder step (soft decodes are slower).
+    ladder_latency_scales: Tuple[float, ...] = (1.0, 2.0, 4.0)
+    #: Whether a RAID-like parity rebuild backs the ladder.
+    raid_recovery: bool = True
+    #: Latency of one parity rebuild (reads the stripe peers).
+    raid_recovery_us: float = 200.0
+
+    # Bad-block retirement (feeds the superblock SRT/RBT layer).
+    spare_blocks_per_channel: int = 2
+    srt_capacity: Optional[int] = 64
+
+    # Transient fault injection in the flash controllers.
+    channel_fault_rate: float = 0.0
+    die_fault_rate: float = 0.0
+    fault_timeout_us: float = 5.0
+    fault_backoff: float = 2.0
+    fault_max_retries: int = 3
+
+    #: Mixed into the device seed so reliability draws are decoupled
+    #: from timing draws.
+    seed_salt: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if self.base_rber <= 0 or self.base_rber >= 1:
+            raise ConfigError(f"base_rber out of (0,1): {self.base_rber}")
+        if self.rber_growth < 0:
+            raise ConfigError(f"negative rber_growth: {self.rber_growth}")
+        if self.retention_per_ms < 0:
+            raise ConfigError(
+                f"negative retention_per_ms: {self.retention_per_ms}"
+            )
+        if self.pe_mean <= 0 or self.pe_sigma < 0:
+            raise ConfigError(
+                f"bad P/E distribution: mean={self.pe_mean}, "
+                f"sigma={self.pe_sigma}"
+            )
+        bits = tuple(self.ladder_correct_bits)
+        scales = tuple(self.ladder_latency_scales)
+        if not bits or len(bits) != len(scales):
+            raise ConfigError(
+                "ladder_correct_bits and ladder_latency_scales must be "
+                f"non-empty and equal length: {bits} vs {scales}"
+            )
+        if any(b <= 0 for b in bits) or list(bits) != sorted(bits):
+            raise ConfigError(
+                f"ladder_correct_bits must be positive and "
+                f"non-decreasing: {bits}"
+            )
+        if any(s <= 0 for s in scales):
+            raise ConfigError(f"ladder scales must be positive: {scales}")
+        if self.raid_recovery_us < 0:
+            raise ConfigError(
+                f"negative raid_recovery_us: {self.raid_recovery_us}"
+            )
+        if self.spare_blocks_per_channel < 0:
+            raise ConfigError(
+                f"negative spare_blocks_per_channel: "
+                f"{self.spare_blocks_per_channel}"
+            )
+        if self.srt_capacity is not None and self.srt_capacity < 1:
+            raise ConfigError(f"srt_capacity must be >= 1: {self.srt_capacity}")
+        for rate in (self.channel_fault_rate, self.die_fault_rate):
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(f"fault rate out of [0,1): {rate}")
+        if self.fault_timeout_us < 0 or self.fault_backoff < 1.0:
+            raise ConfigError(
+                f"bad fault timing: timeout={self.fault_timeout_us}, "
+                f"backoff={self.fault_backoff}"
+            )
+        if self.fault_max_retries < 0:
+            raise ConfigError(
+                f"negative fault_max_retries: {self.fault_max_retries}"
+            )

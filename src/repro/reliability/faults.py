@@ -1,0 +1,92 @@
+"""Transient channel/die fault injection with retry/timeout/backoff.
+
+Flash controllers roll a seeded Bernoulli per bus transaction (channel
+faults: CRC failures on the ONFI bus) and per array read (die faults:
+status-register failure).  A detected fault costs a detection timeout,
+then an exponentially backed-off retry, up to ``max_retries`` attempts;
+beyond that the controller gives up on retrying and proceeds (counted,
+so sweeps can report exhaustion rates).
+
+All draws come from one ``random.Random`` stream consumed in event
+order on the single-threaded DES loop -- deterministic under the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from ..errors import ConfigError
+from ..sim import Simulator
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Seeded transient-fault source shared by the flash controllers."""
+
+    def __init__(self, sim: Simulator, channel_fault_rate: float = 0.0,
+                 die_fault_rate: float = 0.0, timeout_us: float = 5.0,
+                 backoff: float = 2.0, max_retries: int = 3,
+                 seed: int = 1):
+        for rate in (channel_fault_rate, die_fault_rate):
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(f"fault rate out of [0,1): {rate}")
+        if timeout_us < 0:
+            raise ConfigError(f"negative fault timeout: {timeout_us}")
+        if backoff < 1.0:
+            raise ConfigError(f"backoff must be >= 1: {backoff}")
+        if max_retries < 0:
+            raise ConfigError(f"negative max_retries: {max_retries}")
+        self.sim = sim
+        self.channel_fault_rate = channel_fault_rate
+        self.die_fault_rate = die_fault_rate
+        self.timeout_us = timeout_us
+        self.backoff = backoff
+        self.max_retries = max_retries
+        self._rng = random.Random(seed)
+
+        self.channel_faults = 0
+        self.die_faults = 0
+        self.retries = 0
+        self.exhausted = 0
+        self.retry_delay_total = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault class has a non-zero rate."""
+        return self.channel_fault_rate > 0.0 or self.die_fault_rate > 0.0
+
+    def channel_fault(self) -> bool:
+        """Roll one bus transaction; True when it failed."""
+        if self.channel_fault_rate <= 0.0:
+            return False
+        hit = self._rng.random() < self.channel_fault_rate
+        if hit:
+            self.channel_faults += 1
+        return hit
+
+    def die_fault(self) -> bool:
+        """Roll one array operation; True when it failed."""
+        if self.die_fault_rate <= 0.0:
+            return False
+        hit = self._rng.random() < self.die_fault_rate
+        if hit:
+            self.die_faults += 1
+        return hit
+
+    def backoff_wait(self, attempt: int) -> Generator:
+        """Generator: pay detection timeout + backoff before retry *attempt*.
+
+        Returns True to retry, False once retries are exhausted (the
+        caller proceeds and the exhaustion is counted).
+        """
+        if attempt > self.max_retries:
+            self.exhausted += 1
+            return False
+        delay = self.timeout_us * (self.backoff ** (attempt - 1))
+        self.retries += 1
+        self.retry_delay_total += delay
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        return True

@@ -1,0 +1,66 @@
+"""ECC read-retry ladder decision logic.
+
+The ladder is pure policy: step 0 is the normal hard-decision decode,
+every later step models a read-retry pass (re-read the array with
+shifted reference voltages, then a slower soft-decision decode that
+corrects more bits).  When every step fails, a RAID-like parity rebuild
+recovers the page -- or, with RAID disabled, the page is uncorrectable.
+
+The *latency* of each step is paid by the caller
+(:class:`~repro.reliability.ReliabilityEngine`) on the real simulated
+resources: the flash channel for the re-read and the
+:class:`~repro.controller.EccEngine` lane at ``latency_scales[step]``
+for the decode, so ladder traffic contends with host I/O exactly like
+any other datapath activity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["EccLadder"]
+
+
+class EccLadder:
+    """Correctable-bits schedule of the read-retry ladder."""
+
+    def __init__(self, correct_bits: Tuple[int, ...] = (40, 60, 72),
+                 latency_scales: Tuple[float, ...] = (1.0, 2.0, 4.0),
+                 raid_recovery: bool = True,
+                 raid_recovery_us: float = 200.0):
+        bits = tuple(correct_bits)
+        scales = tuple(latency_scales)
+        if not bits or len(bits) != len(scales):
+            raise ConfigError(
+                f"ladder steps mismatched: {bits} vs {scales}"
+            )
+        if any(b <= 0 for b in bits) or list(bits) != sorted(bits):
+            raise ConfigError(
+                f"correct_bits must be positive, non-decreasing: {bits}"
+            )
+        if any(s <= 0 for s in scales):
+            raise ConfigError(f"latency scales must be positive: {scales}")
+        if raid_recovery_us < 0:
+            raise ConfigError(f"negative raid latency: {raid_recovery_us}")
+        self.correct_bits = bits
+        self.latency_scales = scales
+        self.raid_recovery = raid_recovery
+        self.raid_recovery_us = raid_recovery_us
+
+    @property
+    def steps(self) -> int:
+        """Number of decode attempts (1 hard + N-1 retries)."""
+        return len(self.correct_bits)
+
+    def corrects(self, step: int, errors: int) -> bool:
+        """Whether decode step *step* corrects *errors* bit errors."""
+        return errors <= self.correct_bits[step]
+
+    def next_step(self, errors: int, step: int = 0) -> Optional[int]:
+        """First step >= *step* that corrects *errors*, or None."""
+        for candidate in range(step, self.steps):
+            if self.corrects(candidate, errors):
+                return candidate
+        return None

@@ -1,0 +1,99 @@
+"""Seeded raw bit-error rate model.
+
+RBER follows the standard first-order wear/retention form used by the
+repo's :class:`~repro.flash.WearModel` (and by Amber-style full-resource
+simulators):
+
+``rber = base * exp(growth * pe/limit) * (1 + retention_per_ms * age)``
+
+Per-block P/E limits come from the paper's Table 1 Gaussian via
+:class:`~repro.flash.WearModel`, so the reliability layer and the
+endurance simulator agree on when a block is worn out.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..errors import ConfigError
+from ..flash.wear import PAPER_PE_MEAN, PAPER_PE_SIGMA, WearModel
+
+__all__ = ["RberModel", "pe_fraction_at_rber", "poisson"]
+
+
+def poisson(rng: random.Random, lam: float) -> int:
+    """Seeded Poisson sample (Knuth for small rates, Gaussian above).
+
+    Bit-error counts per read are Poisson(page_bits * rber); rates in
+    the sweeps stay far below the Gaussian cutoff, which only guards
+    against pathological configurations.
+    """
+    if lam <= 0.0:
+        return 0
+    if lam > 64.0:
+        return max(0, int(round(rng.gauss(lam, math.sqrt(lam)))))
+    threshold = math.exp(-lam)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def pe_fraction_at_rber(target_rber: float, base_rber: float,
+                        growth: float) -> float:
+    """Wear fraction at which the RBER curve crosses *target_rber*.
+
+    Inverse of the fresh-retention RBER curve; the endurance simulator
+    uses it to cap per-block P/E limits at the uncorrectable-RBER point
+    instead of the raw Gaussian draw.  Returns a value > 1 when the
+    block's full life stays below the target.
+    """
+    if target_rber <= 0 or base_rber <= 0:
+        raise ConfigError(
+            f"RBER values must be positive: {target_rber}, {base_rber}"
+        )
+    if target_rber <= base_rber:
+        return 0.0
+    if growth <= 0:
+        return float("inf")
+    return math.log(target_rber / base_rber) / growth
+
+
+class RberModel:
+    """Per-block RBER as a function of P/E cycles and retention age."""
+
+    def __init__(self, base_rber: float = 1e-7, growth: float = 8.0,
+                 retention_per_ms: float = 0.0,
+                 pe_mean: float = PAPER_PE_MEAN,
+                 pe_sigma: float = PAPER_PE_SIGMA, seed: int = 1):
+        if base_rber <= 0:
+            raise ConfigError(f"base_rber must be positive: {base_rber}")
+        if growth < 0 or retention_per_ms < 0:
+            raise ConfigError(
+                f"negative rber parameters: growth={growth}, "
+                f"retention={retention_per_ms}"
+            )
+        self.base_rber = base_rber
+        self.growth = growth
+        self.retention_per_ms = retention_per_ms
+        self.wear = WearModel(mean=pe_mean, sigma=pe_sigma, seed=seed)
+
+    def limit_for(self, block_index: int) -> int:
+        """P/E limit of one block (Gaussian draw, cached)."""
+        return self.wear.limit_for(block_index)
+
+    def is_dead(self, block_index: int, erase_count: int) -> bool:
+        """Whether the block is worn out at this erase count."""
+        return self.wear.is_dead(block_index, erase_count)
+
+    def rber(self, block_index: int, erase_count: int,
+             age_us: float = 0.0) -> float:
+        """RBER of a page in *block_index* at the given wear and age."""
+        limit = self.wear.limit_for(block_index)
+        fraction = erase_count / limit if limit else 1.0
+        wear_term = self.base_rber * math.exp(self.growth * fraction)
+        retention = 1.0 + self.retention_per_ms * (age_us / 1000.0)
+        return wear_term * retention

@@ -135,7 +135,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` microseconds after creation."""
+    """An event that fires ``delay`` microseconds after creation.
+
+    Unlike a plain :class:`Event`, a timeout is armed at construction and
+    triggers itself when the delay elapses: ``triggered``/``ok``/``value``
+    stay False/False/unreadable until the scheduled dispatch actually
+    runs, and manual :meth:`trigger`/:meth:`fail` are rejected.
+    """
 
     __slots__ = ("delay",)
 
@@ -144,9 +150,20 @@ class Timeout(Event):
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)
         self.delay = delay
-        self._triggered = True
         self._value = value
         sim._schedule_event(self, delay)
+
+    def trigger(self, value: Any = None) -> "Event":
+        raise SimulationError("a Timeout fires by itself; trigger() is "
+                              "not allowed")
+
+    def fail(self, exception: BaseException) -> "Event":
+        raise SimulationError("a Timeout fires by itself; fail() is "
+                              "not allowed")
+
+    def _dispatch(self) -> None:
+        self._triggered = True
+        super()._dispatch()
 
 
 class Process(Event):

@@ -41,6 +41,7 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiters: List[Tuple[int, int, Event]] = []
+        self._cancelled: set = set()
         self._seq = 0
 
     @property
@@ -51,7 +52,7 @@ class Resource:
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for a slot."""
-        return len(self._waiters)
+        return len(self._waiters) - len(self._cancelled)
 
     def request(self, priority: int = 0) -> Event:
         """Ask for a slot; the returned event fires when granted."""
@@ -68,11 +69,28 @@ class Resource:
         """Return a slot, waking the highest-priority waiter if any."""
         if self._in_use <= 0:
             raise RuntimeError(f"release on idle resource {self.name!r}")
-        if self._waiters:
+        while self._waiters:
             _prio, _seq, grant = heapq.heappop(self._waiters)
+            if grant in self._cancelled:
+                self._cancelled.discard(grant)
+                continue
             grant.trigger(self)
-        else:
-            self._in_use -= 1
+            return
+        self._in_use -= 1
+
+    def cancel(self, grant: Event) -> None:
+        """Abandon a request, whether or not it has been granted yet.
+
+        The exception-safety primitive: a holder interrupted between
+        ``request()`` and ``release()`` calls this from a ``finally``.
+        If the grant already fired the slot is released; if it is still
+        queued it is lazily discarded so a later :meth:`release` does
+        not wake a waiter that no longer exists.
+        """
+        if grant.triggered:
+            self.release()
+        elif grant not in self._cancelled:
+            self._cancelled.add(grant)
 
     def acquire(self, priority: int = 0):
         """Generator helper: ``yield from resource.acquire()``."""
@@ -136,6 +154,26 @@ class TokenPool:
             count, grant = self._waiters.popleft()
             self._available -= count
             grant.trigger(count)
+
+    def cancel(self, grant: Event) -> None:
+        """Abandon an acquire, whether or not it has been granted yet.
+
+        If the grant already fired, its token count (the grant value) is
+        returned to the pool; if it is still queued it is removed so the
+        tokens are never handed out.
+        """
+        if grant.triggered:
+            self.release(grant.value)
+            return
+        for index, (_count, waiting) in enumerate(self._waiters):
+            if waiting is grant:
+                del self._waiters[index]
+                break
+        # Removing a head-of-line request may unblock smaller ones.
+        while self._waiters and self._available >= self._waiters[0][0]:
+            count, waiting = self._waiters.popleft()
+            self._available -= count
+            waiting.trigger(count)
 
 
 class Transfer:

@@ -53,10 +53,23 @@ class EnduranceConfig:
     srt_capacity: Optional[int] = 1024  # entries per channel; None = inf
     stop_bad_fraction: float = 0.90     # run until 90 % superblocks bad
     seed: int = 1
+    #: Optional ECC budget: a block is dead once its RBER (reliability
+    #: layer's wear curve, ``rber_base * exp(rber_growth * pe/limit)``)
+    #: crosses this value, which caps the Gaussian P/E draw.  ``None``
+    #: keeps the raw draws (the paper's pure-wear model).
+    uncorrectable_rber: Optional[float] = None
+    rber_base: float = 1e-7
+    rber_growth: float = 8.0
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
             raise ConfigError(f"unknown endurance policy {self.policy!r}")
+        if self.uncorrectable_rber is not None:
+            from ..reliability.rber import pe_fraction_at_rber
+
+            # Raises ConfigError on bad values; result used in the sim.
+            pe_fraction_at_rber(self.uncorrectable_rber, self.rber_base,
+                                self.rber_growth)
         if self.n_superblocks < 2:
             raise ConfigError("need at least 2 superblocks")
         if not 0.0 <= self.reserve_fraction < 0.5:
@@ -123,6 +136,15 @@ class EnduranceSimulator:
 
         draws = rng.normal(config.pe_mean, config.pe_sigma,
                            size=(total, config.channels))
+        if config.uncorrectable_rber is not None:
+            from ..reliability.rber import pe_fraction_at_rber
+
+            fraction = pe_fraction_at_rber(
+                config.uncorrectable_rber, config.rber_base,
+                config.rber_growth,
+            )
+            if fraction < 1.0:
+                draws = np.floor(draws * fraction)
         self.limits = np.maximum(1, np.rint(draws)).astype(np.int64)
         self.wear = np.zeros_like(self.limits)
         self.alive = np.ones(self.visible, dtype=bool)
