@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Standalone runner for the kernel hot-path benchmark suite.
+
+Equivalent to ``python -m repro bench`` but runnable straight from a
+checkout without installing the package::
+
+    python benchmarks/bench_kernel.py                # full suite
+    python benchmarks/bench_kernel.py --quick        # CI smoke mode
+    python benchmarks/bench_kernel.py --check BENCH_kernel.json
+
+Writes ``BENCH_kernel.json`` (override with ``--output``); exits
+non-zero when ``--check`` finds a regression beyond ``--tolerance``.
+The measured workloads are pinned-seed and fully deterministic -- event
+counts are exact, only wall time varies with the host.  See
+``src/repro/bench.py`` for the workload definitions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.bench import BENCH_FILE, main as bench_main  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads and fewer repeats")
+    parser.add_argument("--output", default=BENCH_FILE, metavar="FILE",
+                        help=f"JSON report path (default: {BENCH_FILE})")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail on events/sec regression vs BASELINE")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        metavar="FRAC",
+                        help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--repeats", type=int, default=None, metavar="N",
+                        help="best-of-N wall measurement")
+    args = parser.parse_args(argv)
+    return bench_main(quick=args.quick, output=args.output, check=args.check,
+                      tolerance=args.tolerance, repeats=args.repeats)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

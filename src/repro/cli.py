@@ -10,6 +10,8 @@ Usage::
     python -m repro fig8 --no-cache      # ignore + bypass cached points
     python -m repro fig13 --progress     # per-point progress on stderr
     repro-dssd fig14                     # console-script alias
+    python -m repro bench                # kernel perf suite -> BENCH_kernel.json
+    python -m repro bench --quick --check BENCH_kernel.json   # CI perf gate
 
 Sweep points fan out over ``--jobs`` worker processes (default: every
 CPU core) and completed points are cached under ``~/.cache/repro-dssd/``
@@ -40,8 +42,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="paper figure/table to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "bench"],
+        help="paper figure/table to regenerate, or 'bench' for the "
+             "hot-path benchmark suite",
     )
     parser.add_argument(
         "--full", action="store_true",
@@ -62,7 +65,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--progress", action="store_true",
         help="print one line per completed sweep point to stderr",
     )
+    bench_group = parser.add_argument_group(
+        "bench options", "only used with the 'bench' experiment")
+    bench_group.add_argument(
+        "--quick", action="store_true",
+        help="bench: smaller workloads and fewer repeats (CI smoke mode)",
+    )
+    bench_group.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="bench: where to write the JSON report "
+             "(default: BENCH_kernel.json)",
+    )
+    bench_group.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="bench: fail if events/sec regresses below BASELINE "
+             "by more than --tolerance",
+    )
+    bench_group.add_argument(
+        "--tolerance", type=float, default=0.30, metavar="FRAC",
+        help="bench: allowed fractional regression vs the baseline "
+             "(default 0.30)",
+    )
+    bench_group.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="bench: best-of-N wall-time measurement "
+             "(default: 3, or 2 with --quick)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "bench":
+        from .bench import BENCH_FILE, main as bench_main
+        return bench_main(
+            quick=args.quick,
+            output=args.output if args.output is not None else BENCH_FILE,
+            check=args.check,
+            tolerance=args.tolerance,
+            repeats=args.repeats,
+        )
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]

@@ -23,6 +23,9 @@ COMPONENTS = (
     "other",        # firmware, NI, misc fixed latencies
 )
 
+#: Set view of :data:`COMPONENTS` for O(1) membership on the hot path.
+_COMPONENT_SET = frozenset(COMPONENTS)
+
 
 class Breakdown:
     """Accumulates per-component time for one request (or many)."""
@@ -34,11 +37,12 @@ class Breakdown:
 
     def add(self, component: str, duration: float) -> None:
         """Attribute *duration* microseconds to *component*."""
-        if component not in COMPONENTS:
+        if component not in _COMPONENT_SET:
             raise KeyError(f"unknown breakdown component {component!r}")
         if duration < 0:
             raise ValueError(f"negative duration {duration} for {component}")
-        self.parts[component] = self.parts.get(component, 0.0) + duration
+        parts = self.parts
+        parts[component] = parts.get(component, 0.0) + duration
 
     def merge(self, other: "Breakdown") -> None:
         """Fold another breakdown's components into this one."""

@@ -30,6 +30,8 @@ class CopybackStatus:
     WRITTEN = "W"       #: programmed at the destination
 
     ORDER = (QUEUED, READ, READ_ECC, PACKETIZED, TRANSFERRED, WRITTEN)
+    #: status -> rank, for O(1) transition checks in ``advance``.
+    RANK = {status: index for index, status in enumerate(ORDER)}
 
 
 @dataclass
@@ -54,8 +56,8 @@ class CopybackCommand:
 
     def advance(self, status: str, now: float) -> None:
         """Move to *status*, enforcing the stage order."""
-        order = CopybackStatus.ORDER
-        if order.index(status) <= order.index(self.status):
+        rank = CopybackStatus.RANK
+        if rank[status] <= rank[self.status]:
             raise ValueError(
                 f"copyback {self.command_id}: illegal transition "
                 f"{self.status} -> {status}"

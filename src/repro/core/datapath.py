@@ -270,9 +270,14 @@ class DecoupledDatapath(BaselineDatapath):
         if apply_remap:
             src = self.remap(src)
             dst = self.remap(dst)
-        command = CopybackCommand(src=src, dst=dst)
+        # Command bookkeeping exists only to feed the copyback log; once
+        # the log is full the per-stage status tracking is dead work on
+        # the hottest GC path, so skip it entirely (timing unchanged).
         if len(self.copyback_log) < self.copyback_log_limit:
+            command = CopybackCommand(src=src, dst=dst)
             self.copyback_log.append(command)
+        else:
+            command = None
         breakdown = Breakdown()
         outcome = None
 
@@ -284,7 +289,8 @@ class DecoupledDatapath(BaselineDatapath):
             yield src_grant
             yield from self.controller_for(src).read_page(src, "gc",
                                                           breakdown)
-            command.advance(CopybackStatus.READ, self.sim.now)
+            if command is not None:
+                command.advance(CopybackStatus.READ, self.sim.now)
 
             # (4) error check with the integrated ECC engine.
             if self.check_ecc:
@@ -296,13 +302,15 @@ class DecoupledDatapath(BaselineDatapath):
                                          self.page_size, breakdown)
             else:
                 self.unchecked_copies += 1
-            command.advance(CopybackStatus.READ_ECC, self.sim.now)
+            if command is not None:
+                command.advance(CopybackStatus.READ_ECC, self.sim.now)
 
-            if command.is_local:
+            if src.channel == dst.channel:
                 # Same channel: program straight from the source dBUF.
                 yield from self.controller_for(dst).program_page(dst, "gc",
                                                                  breakdown)
-                command.advance(CopybackStatus.WRITTEN, self.sim.now)
+                if command is not None:
+                    command.advance(CopybackStatus.WRITTEN, self.sim.now)
             else:
                 # (5-8) packetize, traverse the interconnect into the
                 # destination dBUF, then (9,10) program at the
@@ -310,7 +318,8 @@ class DecoupledDatapath(BaselineDatapath):
                 # is handed to the network interface -- holding both
                 # slots while waiting for the destination could deadlock
                 # opposing copyback streams.
-                command.advance(CopybackStatus.PACKETIZED, self.sim.now)
+                if command is not None:
+                    command.advance(CopybackStatus.PACKETIZED, self.sim.now)
                 src_dbuf.cancel(src_grant)
                 src_held = False
                 dst_dbuf = self.dbufs[dst.channel]
@@ -319,10 +328,13 @@ class DecoupledDatapath(BaselineDatapath):
                     yield dst_grant
                     yield from self.transport.move(src.channel, dst.channel,
                                                    self.page_size, breakdown)
-                    command.advance(CopybackStatus.TRANSFERRED, self.sim.now)
+                    if command is not None:
+                        command.advance(CopybackStatus.TRANSFERRED,
+                                        self.sim.now)
                     yield from self.controller_for(dst).program_page(
                         dst, "gc", breakdown)
-                    command.advance(CopybackStatus.WRITTEN, self.sim.now)
+                    if command is not None:
+                        command.advance(CopybackStatus.WRITTEN, self.sim.now)
                 finally:
                     dst_dbuf.cancel(dst_grant)
         finally:

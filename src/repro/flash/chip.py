@@ -131,6 +131,25 @@ class FlashBackend:
             for i in range(geometry.planes_total)
         ]
         self._blocks: Dict[int, BlockState] = {}
+        # Linearization strides for addresses already validated once:
+        # read/program/erase validate up front and then index planes and
+        # blocks without re-running the per-field bounds checks.
+        self._plane_strides = (
+            geometry.ways * geometry.dies * geometry.planes,
+            geometry.dies * geometry.planes,
+            geometry.planes,
+        )
+
+    def _plane_id(self, addr: PhysAddr) -> int:
+        """Plane index of a *validated* address (no bounds re-check)."""
+        s0, s1, s2 = self._plane_strides
+        return addr[0] * s0 + addr[1] * s1 + addr[2] * s2 + addr[3]
+
+    def _block_state_at(self, index: int) -> BlockState:
+        state = self._blocks.get(index)
+        if state is None:
+            state = self._blocks[index] = BlockState()
+        return state
 
     # -- state access --------------------------------------------------------
 
@@ -167,35 +186,39 @@ class FlashBackend:
     def read(self, addr: PhysAddr) -> Generator:
         """Read one page from the array into the plane's page register."""
         self.geometry.validate(addr)
+        plane_id = self._plane_id(addr)
         if self.enforce_discipline:
-            state = self.block_state(addr)
-            if addr.page not in state.programmed:
+            state = self._block_state_at(
+                plane_id * self.geometry.blocks_per_plane + addr[4])
+            if addr[5] not in state.programmed:
                 raise FlashError(f"read of unwritten page {addr}")
-        plane = self.plane_of(addr)
         duration = self._read_latency()
-        wait = yield from plane.occupy(duration, "read")
+        wait = yield from self.planes[plane_id].occupy(duration, "read")
         return OpBreakdown(wait, duration)
 
     def program(self, addr: PhysAddr) -> Generator:
         """Program one page (reprogram without erase is rejected)."""
         self.geometry.validate(addr)
+        plane_id = self._plane_id(addr)
         if self.enforce_discipline:
-            state = self.block_state(addr)
-            if addr.page in state.programmed:
+            state = self._block_state_at(
+                plane_id * self.geometry.blocks_per_plane + addr[4])
+            if addr[5] in state.programmed:
                 raise FlashError(f"reprogram of page {addr} without erase")
-            state.programmed.add(addr.page)
-        plane = self.plane_of(addr)
+            state.programmed.add(addr[5])
         duration = self._program_latency()
-        wait = yield from plane.occupy(duration, "program")
+        wait = yield from self.planes[plane_id].occupy(duration, "program")
         return OpBreakdown(wait, duration)
 
     def erase(self, addr: PhysAddr) -> Generator:
         """Erase the block containing *addr*."""
         self.geometry.validate(addr)
-        state = self.block_state(addr)
+        plane_id = self._plane_id(addr)
+        state = self._block_state_at(
+            plane_id * self.geometry.blocks_per_plane + addr[4])
         state.programmed.clear()
         state.erase_count += 1
-        plane = self.plane_of(addr)
+        plane = self.planes[plane_id]
         wait = yield from plane.occupy(self.timing.erase_us, "erase")
         return OpBreakdown(wait, self.timing.erase_us)
 

@@ -35,7 +35,10 @@ class PhysAddr(NamedTuple):
 
     def block_addr(self) -> "PhysAddr":
         """The same address with the page index zeroed (block identity)."""
-        return self._replace(page=0)
+        # tuple_new is much cheaper than namedtuple._replace on this
+        # hot path (every page-state update derives the block identity).
+        return tuple.__new__(PhysAddr, (self[0], self[1], self[2],
+                                        self[3], self[4], 0))
 
 
 @dataclass(frozen=True)
@@ -167,6 +170,13 @@ class FlashGeometry:
 
     def validate(self, addr: PhysAddr) -> None:
         """Raise :class:`AddressError` if *addr* is outside this geometry."""
+        # Hot path: one chained comparison, no tuple construction.  The
+        # readable loop below only runs to produce the error message.
+        if (0 <= addr[0] < self.channels and 0 <= addr[1] < self.ways
+                and 0 <= addr[2] < self.dies and 0 <= addr[3] < self.planes
+                and 0 <= addr[4] < self.blocks_per_plane
+                and 0 <= addr[5] < self.pages_per_block):
+            return
         limits = (self.channels, self.ways, self.dies, self.planes,
                   self.blocks_per_plane, self.pages_per_block)
         for name, value, limit in zip(PhysAddr._fields, addr, limits):

@@ -79,8 +79,7 @@ class Ftl:
 
     def submit(self, request: IoRequest):
         """Start processing a request; returns its process handle."""
-        return self.sim.process(self._handle(request),
-                                name=f"io{request.request_id}")
+        return self.sim.process(self._handle(request), name="io")
 
     def _handle(self, request: IoRequest) -> Generator:
         request.issue_time = self.sim.now

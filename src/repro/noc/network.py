@@ -23,11 +23,12 @@ is a two-hop star with an amply-buffered hub.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..errors import ConfigError
 from ..sim import LatencyStats, Link, Resource, Simulator, TokenPool
-from .packet import DEFAULT_FLIT_BYTES, DEFAULT_HEADER_BYTES, Packet
+from .packet import DEFAULT_FLIT_BYTES, DEFAULT_HEADER_BYTES, Packet, \
+    flit_count
 from .topology import Topology, XBAR_HUB
 
 __all__ = ["FNoC", "NocBreakdown"]
@@ -49,6 +50,32 @@ class NocBreakdown:
     hop_pipeline: float    #: header forwarding time across hops
     total: float           #: end-to-end NI-to-NI latency
     hops: int              #: channels traversed
+
+
+class _HopRelease:
+    """One completion callback bundling a hop's guard + credit releases.
+
+    Replaces up to three per-hop lambda closures on the channel's
+    ``done`` event with a single allocation; the slots are resolved once
+    when the hop's bookkeeping is known.
+    """
+
+    __slots__ = ("guard", "pool_a", "tokens_a", "pool_b", "tokens_b")
+
+    def __init__(self, guard, pool_a, tokens_a, pool_b=None, tokens_b=0):
+        self.guard = guard
+        self.pool_a = pool_a
+        self.tokens_a = tokens_a
+        self.pool_b = pool_b
+        self.tokens_b = tokens_b
+
+    def __call__(self, _event) -> None:
+        if self.guard is not None:
+            self.guard.release()
+        if self.pool_a is not None:
+            self.pool_a.release(self.tokens_a)
+        if self.pool_b is not None:
+            self.pool_b.release(self.tokens_b)
 
 
 class FNoC:
@@ -115,16 +142,32 @@ class FNoC:
                     sim, depth, name=f"port{u}->{v}#vc{vc}"
                 )
 
-        self.packet_latency = LatencyStats("fnoc_packet")
+        #: Serialization time of one flit on a channel (us).  A plain
+        #: attribute (not a property): ``send`` reads it per packet.
+        self.flit_time = flit_bytes / channel_bandwidth
+        self._header_step = self.flit_time + router_latency_us
+        # All-pairs route table, built once: (path, hop_count,
+        # serialization resources per hop).  Each hop entry carries the
+        # already-resolved (credit pool, channel link, wormhole guard)
+        # triple so the per-packet path involves no dict lookups.
+        self._routes: Dict[Tuple[int, int],
+                           Tuple[List[int], int, Tuple]] = {}
+        for (src, dst), (path, vc) in topology.routes().items():
+            hops = tuple(
+                (self._ports[(u, v, vc)], self._channels[(u, v)],
+                 self._guards.get((u, v)))
+                for u, v in zip(path, path[1:])
+            )
+            self._routes[(src, dst)] = (path, len(path) - 1, hops)
+        #: payload_bytes -> flit count (page-sized payloads dominate).
+        self._flit_cache: Dict[int, int] = {}
+
+        self.packet_latency = LatencyStats("fnoc_packet",
+                                           keep_samples=False)
         self.packets_sent = 0
         self.bytes_sent = 0
 
     # -- helpers -----------------------------------------------------------
-
-    @property
-    def flit_time(self) -> float:
-        """Serialization time of one flit on a channel (us)."""
-        return self.flit_bytes / self.channel_bandwidth
 
     def channel(self, u: int, v: int) -> Link:
         """The directed channel link from *u* to *v*."""
@@ -145,68 +188,74 @@ class FNoC:
         Returns a :class:`NocBreakdown`.  ``src == dst`` short-circuits
         with only the NI latency (no fabric traversal).
         """
-        t_begin = self.sim.now
+        sim = self.sim
+        t_begin = sim.now
         packet.created_at = t_begin
-        path = self.topology.path(packet.src, packet.dst)
+        try:
+            path, hop_count, hop_resources = \
+                self._routes[(packet.src, packet.dst)]
+        except KeyError:
+            # Out-of-range node: reproduce the topology's ConfigError.
+            self.topology.path(packet.src, packet.dst)
+            raise
         # Packetization at the source network interface.
         if self.ni_latency_us > 0:
-            yield self.sim.timeout(self.ni_latency_us)
-        if len(path) == 1:
-            total = self.sim.now - t_begin
+            yield sim.timeout(self.ni_latency_us)
+        if hop_count == 0:
+            total = sim.now - t_begin
             self.packet_latency.add(total)
             self.packets_sent += 1
             self.bytes_sent += packet.payload_bytes
             return NocBreakdown(0.0, 0.0, 0.0, total, 0)
 
-        vc = self.topology.vc_of(path)
-        flits = packet.flits(self.flit_bytes, self.header_bytes)
+        payload = packet.payload_bytes
+        flits = self._flit_cache.get(payload)
+        if flits is None:
+            flits = self._flit_cache[payload] = flit_count(
+                payload, self.flit_bytes, self.header_bytes)
         wire_bytes = flits * self.flit_bytes
-        header_step = self.flit_time + self.router_latency_us
+        header_step = self._header_step
+        traffic_class = packet.traffic_class
 
         queue_wait = 0.0
         held: Optional[Tuple[TokenPool, int]] = None
         last_done = None
-        for cur, nxt in zip(path, path[1:]):
-            pool = self.port(cur, nxt, vc)
-            tokens = min(flits, pool.capacity)
-            t_request = self.sim.now
-            guard = self._guards.get((cur, nxt))
+        for pool, link, guard in hop_resources:
+            tokens = flits if flits < pool.capacity else pool.capacity
+            t_request = sim.now
             if guard is not None:
                 # Wormhole: win the channel first, then wait for credits
                 # while holding it (head-of-line blocking).
                 yield guard.request()
             yield pool.acquire(tokens)
-            start, done = self.channel(cur, nxt).transfer_with_start(
-                wire_bytes, packet.traffic_class
-            )
-            if guard is not None:
-                done.add_callback(lambda _evt, g=guard: g.release())
+            start, done = link.transfer_with_start(wire_bytes, traffic_class)
             yield start
-            queue_wait += self.sim.now - t_request
-            # Credits held at the *previous* router drain as this channel
-            # serializes the tail out of it.
-            if held is not None:
-                prev_pool, prev_tokens = held
-                done.add_callback(
-                    lambda _evt, p=prev_pool, n=prev_tokens: p.release(n)
-                )
+            queue_wait += sim.now - t_request
+            # All of this hop's completion bookkeeping rides one callback:
+            # the wormhole guard, the credits held at the *previous* router
+            # (they drain as this channel serializes the tail out of it),
+            # and -- with a deep buffer -- this hop's own credits, freed
+            # when the whole packet is absorbed downstream (virtual
+            # cut-through).  A shallow buffer instead carries its credits
+            # to the next hop (wormhole coupling -- downstream stalls
+            # propagate upstream).
             if tokens >= flits:
-                # Deep buffer: the whole packet is absorbed at the
-                # downstream router when its tail arrives, freeing the
-                # credits immediately -- hops decouple (virtual
-                # cut-through with full packet buffering).
-                done.add_callback(
-                    lambda _evt, p=pool, n=tokens: p.release(n)
-                )
+                if held is not None:
+                    done.add_callback(_HopRelease(
+                        guard, held[0], held[1], pool, tokens))
+                else:
+                    done.add_callback(_HopRelease(guard, pool, tokens))
                 held = None
             else:
-                # Shallow buffer: credits return only once the tail has
-                # left this router on the *next* channel (wormhole
-                # coupling -- downstream stalls propagate upstream).
+                if guard is not None or held is not None:
+                    prev_pool, prev_tokens = held if held is not None \
+                        else (None, 0)
+                    done.add_callback(_HopRelease(
+                        guard, prev_pool, prev_tokens))
                 held = (pool, tokens)
             last_done = done
             # Forward the header while the tail is still serializing.
-            yield self.sim.timeout(header_step)
+            yield sim.timeout(header_step)
 
         # Wait for the tail to fully arrive at the destination router,
         # then eject into the dBUF (credits return immediately).
@@ -214,8 +263,7 @@ class FNoC:
         if held is not None:
             held[0].release(held[1])
 
-        total = self.sim.now - t_begin
-        hops = len(path) - 1
+        total = sim.now - t_begin
         serialization = flits * self.flit_time
         self.packet_latency.add(total)
         self.packets_sent += 1
@@ -223,9 +271,9 @@ class FNoC:
         return NocBreakdown(
             queue_wait=queue_wait,
             serialization=serialization,
-            hop_pipeline=hops * header_step,
+            hop_pipeline=hop_count * header_step,
             total=total,
-            hops=hops,
+            hops=hop_count,
         )
 
     # -- reporting ----------------------------------------------------------

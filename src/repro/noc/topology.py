@@ -15,7 +15,7 @@ reports how to translate a bisection budget into per-channel bandwidth.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..errors import ConfigError
 
@@ -52,6 +52,23 @@ class Topology:
     def vc_of(self, path: Sequence[int]) -> int:
         """Virtual channel assignment for a routed path."""
         return 0
+
+    def routes(self) -> Dict[Tuple[int, int], Tuple[List[int], int]]:
+        """All-pairs ``(src, dst) -> (path, vc)`` table, computed once.
+
+        Routing in every topology here is deterministic and static, so
+        the table is built on first use and cached; the fabric resolves
+        per-packet routes with one dict lookup instead of re-running
+        dimension-order routing.
+        """
+        table = getattr(self, "_route_table", None)
+        if table is None:
+            table = self._route_table = {}
+            for src in range(self.k):
+                for dst in range(self.k):
+                    path = self.path(src, dst)
+                    table[(src, dst)] = (path, self.vc_of(path))
+        return table
 
     def channel_bandwidth_for_bisection(self, bisection_bw: float) -> float:
         """Per-channel bandwidth giving the requested bisection bandwidth."""

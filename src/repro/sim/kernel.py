@@ -23,11 +23,39 @@ The kernel supports:
 * :class:`Timeout` -- events that fire after a fixed delay,
 * :class:`Process` -- generator-driven processes (joinable, interruptible),
 * :class:`AllOf` / :class:`AnyOf` -- condition events over several events.
+
+Hot-path design
+---------------
+
+The dominant pattern in the SSD models is a process looping on ``yield
+sim.timeout(...)``.  The kernel serves it with a *direct-resume* fast
+path (see DESIGN.md "Performance" for the invariants):
+
+* Heap entries for events hold the event object itself -- events are
+  callable, ``event()`` dispatches -- so triggering allocates no bound
+  method.
+* The first process to wait on an event is stored in the ``_waiter``
+  slot and resumed straight from the dispatch, with no
+  ``Event.callbacks`` list and no ``Process._on_event`` hop.  The list
+  is only allocated once a *second* waiter (or a non-process callback)
+  appears; dispatch runs the direct waiter first, which is exactly
+  registration order.
+* ``Timeout`` initializes its slots inline and pushes its own heap
+  entry, skipping the ``Event.__init__``/``schedule`` call chain.
+
+None of this changes *when* anything runs: heap entries are pushed in
+the same program order as the legacy callback path (the sequence counter
+advances identically), so event ordering -- and therefore every
+simulated timestamp -- is bit-for-bit the same.  ``Simulator(
+direct_resume=False)`` keeps the legacy wiring (every event gets a
+callbacks list, processes always register ``_on_event``) for A/B
+equivalence tests.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappush, heappop
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -40,6 +68,12 @@ __all__ = [
     "Simulator",
     "SimulationError",
 ]
+
+#: Sentinel stored in ``Event.callbacks`` once the event has dispatched.
+_DISPATCHED = object()
+
+#: Shared empty args tuple for event heap entries.
+_NO_ARGS = ()
 
 
 class SimulationError(RuntimeError):
@@ -66,13 +100,18 @@ class Event:
     :meth:`fail`) marks it triggered, records its value, and schedules its
     callbacks to run at the current simulation time.  Triggering twice is
     an error.
+
+    ``callbacks`` is ``None`` while no callback has been registered (the
+    sole direct process waiter lives in the ``_waiter`` slot instead), a
+    list once callbacks exist, and an opaque sentinel after dispatch.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered")
+    __slots__ = ("sim", "callbacks", "_waiter", "_value", "_ok", "_triggered")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks = [] if sim._legacy else None
+        self._waiter: Optional["Process"] = None
         self._value: Any = None
         self._ok = True
         self._triggered = False
@@ -100,7 +139,9 @@ class Event:
             raise SimulationError("event triggered twice")
         self._triggered = True
         self._value = value
-        self.sim._schedule_event(self)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim._now, seq, self, _NO_ARGS))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -110,28 +151,57 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.sim._schedule_event(self)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim._now, seq, self, _NO_ARGS))
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run *fn(event)* when the event fires (immediately if it has)."""
-        if self.callbacks is None:
+        cbs = self.callbacks
+        if cbs is _DISPATCHED:
             # Already dispatched: run at the current time via the queue so
             # ordering relative to other scheduled work stays consistent.
-            self.sim.schedule(0.0, fn, self)
+            # Pushed directly (no schedule() wrapper, no closure) -- the
+            # same entry shape the direct-resume path uses.
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._queue, (sim._now, seq, fn, (self,)))
+        elif cbs is None:
+            self.callbacks = [fn]
         else:
-            self.callbacks.append(fn)
+            cbs.append(fn)
 
     def remove_callback(self, fn: Callable[["Event"], None]) -> None:
         """Detach a previously added callback (no-op if absent)."""
-        if self.callbacks is not None and fn in self.callbacks:
-            self.callbacks.remove(fn)
+        cbs = self.callbacks
+        if cbs is not None and cbs is not _DISPATCHED and fn in cbs:
+            cbs.remove(fn)
+
+    def _detach_process(self, process: "Process") -> None:
+        """Unhook *process* however it is waiting (direct slot or list)."""
+        if self._waiter is process:
+            self._waiter = None
+        else:
+            self.remove_callback(process._on_event)
 
     def _dispatch(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
+        waiter = self._waiter
+        callbacks = self.callbacks
+        self.callbacks = _DISPATCHED
+        if waiter is not None:
+            self._waiter = None
+            waiter._waiting_on = None
+            if self._ok:
+                waiter._resume(self._value, None)
+            else:
+                waiter._resume(None, self._value)
         if callbacks:
             for fn in callbacks:
                 fn(self)
+
+    #: Events are callable so a heap entry can hold the event itself.
+    __call__ = _dispatch
 
 
 class Timeout(Event):
@@ -148,10 +218,17 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
+        # Inlined Event.__init__ + scheduling: this runs once per yielded
+        # timeout, i.e. on the hottest allocation path in the simulator.
+        self.sim = sim
         self.delay = delay
+        self.callbacks = [] if sim._legacy else None
+        self._waiter = None
         self._value = value
-        sim._schedule_event(self, delay)
+        self._ok = True
+        self._triggered = False
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim._now + delay, seq, self, _NO_ARGS))
 
     def trigger(self, value: Any = None) -> "Event":
         raise SimulationError("a Timeout fires by itself; trigger() is "
@@ -163,7 +240,19 @@ class Timeout(Event):
 
     def _dispatch(self) -> None:
         self._triggered = True
-        super()._dispatch()
+        waiter = self._waiter
+        callbacks = self.callbacks
+        self.callbacks = _DISPATCHED
+        if waiter is not None:
+            # Timeouts cannot fail, so the ok-branch is resolved statically.
+            self._waiter = None
+            waiter._waiting_on = None
+            waiter._resume(self._value, None)
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    __call__ = _dispatch
 
 
 class Process(Event):
@@ -182,7 +271,8 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
         # Bootstrap: start the generator at the current time.
-        sim.schedule(0.0, self._resume, None, None)
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim._now, seq, self._resume, (None, None)))
 
     @property
     def is_alive(self) -> bool:
@@ -200,7 +290,7 @@ class Process(Event):
             return
         target = self._waiting_on
         if target is not None:
-            target.remove_callback(self._on_event)
+            target._detach_process(self)
             self._waiting_on = None
         self.sim.schedule(0.0, self._resume, None, Interrupt(cause))
 
@@ -217,31 +307,41 @@ class Process(Event):
         if self._triggered:
             return
         try:
-            if exc is not None:
-                target = self.generator.throw(exc)
-            else:
+            if exc is None:
                 target = self.generator.send(value)
+            else:
+                target = self.generator.throw(exc)
         except StopIteration as stop:
-            self.trigger(getattr(stop, "value", None))
+            self.trigger(stop.value)
             return
         except Interrupt:
             # Interrupt escaped the generator: treat as normal termination.
             self.trigger(None)
             return
-        if not isinstance(target, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded {target!r}; processes must "
-                "yield Event instances"
-            )
         self._waiting_on = target
-        target.add_callback(self._on_event)
+        try:
+            if target.callbacks is None and target._waiter is None:
+                # Direct resume: sole waiter, no list, no _on_event hop.
+                target._waiter = self
+            else:
+                target.add_callback(self._on_event)
+        except AttributeError:
+            self._waiting_on = None
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes "
+                    "must yield Event instances"
+                ) from None
+            raise
 
 
 class AllOf(Event):
     """Fires when every event in *events* has fired.
 
     The value is the list of the individual event values in input order.
-    An empty list fires immediately.
+    An empty list fires immediately.  When one child fails, the condition
+    fails and detaches itself from the remaining children so long-lived
+    events do not accumulate dead waiter references.
     """
 
     __slots__ = ("_pending", "_events")
@@ -261,14 +361,26 @@ class AllOf(Event):
             return
         if not event.ok:
             self.fail(event.value)
+            self._detach_from(event)
             return
         self._pending -= 1
         if self._pending == 0:
             self.trigger([e.value for e in self._events])
 
+    def _detach_from(self, fired: Event) -> None:
+        on_child = self._on_child
+        for other in self._events:
+            if other is not fired:
+                other.remove_callback(on_child)
+
 
 class AnyOf(Event):
-    """Fires when the first of *events* fires; value is ``(event, value)``."""
+    """Fires when the first of *events* fires; value is ``(event, value)``.
+
+    Once decided, the condition detaches its callback from the losing
+    children -- otherwise every race against a long-lived event would
+    leave a dead reference on it for the rest of the simulation.
+    """
 
     __slots__ = ("_events",)
 
@@ -285,8 +397,12 @@ class AnyOf(Event):
             return
         if not event.ok:
             self.fail(event.value)
-            return
-        self.trigger((event, event.value))
+        else:
+            self.trigger((event, event.value))
+        on_child = self._on_child
+        for other in self._events:
+            if other is not event:
+                other.remove_callback(on_child)
 
 
 class Simulator:
@@ -294,18 +410,28 @@ class Simulator:
 
     All model components hold a reference to one ``Simulator`` and use
     :meth:`timeout`, :meth:`event`, and :meth:`process` to build behaviour.
+
+    ``direct_resume=False`` selects the legacy wiring (every event carries
+    a callbacks list and processes always register ``_on_event``); it
+    exists for the fast-path equivalence suite and produces bit-identical
+    schedules, only slower.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, direct_resume: bool = True) -> None:
+        #: Current simulation time in microseconds.  A plain attribute
+        #: (read millions of times per simulated second); treat it as
+        #: read-only -- only the event loop advances it.
+        self.now = 0.0
         self._now = 0.0
         self._queue: List[tuple] = []
         self._seq = 0
         self._running = False
+        self._legacy = not direct_resume
 
     @property
-    def now(self) -> float:
-        """Current simulation time in microseconds."""
-        return self._now
+    def direct_resume(self) -> bool:
+        """Whether the direct-resume fast path is enabled."""
+        return not self._legacy
 
     # -- factories ---------------------------------------------------------
 
@@ -336,13 +462,12 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, fn, args))
+        heappush(self._queue, (self._now + delay, self._seq, fn, args))
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        # Kept for backward compatibility; events now enqueue themselves.
         self._seq += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, self._seq, event._dispatch, ())
-        )
+        heappush(self._queue, (self._now + delay, self._seq, event, _NO_ARGS))
 
     # -- execution ----------------------------------------------------------
 
@@ -356,17 +481,22 @@ class Simulator:
         self._running = True
         try:
             queue = self._queue
+            pop = heappop
             while queue:
-                time, _seq, fn, args = queue[0]
+                time = queue[0][0]
                 if until is not None and time > until:
-                    self._now = until
+                    self.now = self._now = until
                     break
-                heapq.heappop(queue)
-                self._now = time
-                fn(*args)
+                self.now = self._now = time
+                # Dispatch the whole same-timestamp batch without
+                # re-checking the stop condition; entries pushed at the
+                # current time by a callback join the batch.
+                while queue and queue[0][0] == time:
+                    entry = pop(queue)
+                    entry[2](*entry[3])
             else:
                 if until is not None and until > self._now:
-                    self._now = until
+                    self.now = self._now = until
         finally:
             self._running = False
         return self._now
@@ -376,7 +506,7 @@ class Simulator:
         if not self._queue:
             return False
         time, _seq, fn, args = heapq.heappop(self._queue)
-        self._now = time
+        self.now = self._now = time
         fn(*args)
         return True
 

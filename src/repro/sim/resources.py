@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque, List, Optional, Tuple
 
 from .kernel import Event, Simulator
@@ -56,7 +57,7 @@ class Resource:
 
     def request(self, priority: int = 0) -> Event:
         """Ask for a slot; the returned event fires when granted."""
-        grant = self.sim.event()
+        grant = Event(self.sim)
         if self._in_use < self.capacity:
             self._in_use += 1
             grant.trigger(self)
@@ -87,7 +88,7 @@ class Resource:
         queued it is lazily discarded so a later :meth:`release` does
         not wake a waiter that no longer exists.
         """
-        if grant.triggered:
+        if grant._triggered:
             self.release()
         elif grant not in self._cancelled:
             self._cancelled.add(grant)
@@ -132,7 +133,7 @@ class TokenPool:
             raise ValueError(
                 f"request of {n} tokens exceeds capacity {self.capacity}"
             )
-        grant = self.sim.event()
+        grant = Event(self.sim)
         if not self._waiters and self._available >= n:
             self._available -= n
             grant.trigger(n)
@@ -162,7 +163,7 @@ class TokenPool:
         returned to the pool; if it is still queued it is removed so the
         tokens are never handed out.
         """
-        if grant.triggered:
+        if grant._triggered:
             self.release(grant.value)
             return
         for index, (_count, waiting) in enumerate(self._waiters):
@@ -246,8 +247,8 @@ class Link:
         """
         if nbytes <= 0:
             raise ValueError(f"transfer size must be positive, got {nbytes}")
-        done = self.sim.event()
-        item = Transfer(nbytes, traffic_class, priority, done, self.sim.now)
+        done = Event(self.sim)
+        item = Transfer(nbytes, traffic_class, priority, done, self.sim._now)
         if self._busy:
             self._seq += 1
             heapq.heappush(self._queue, (priority, self._seq, item))
@@ -266,9 +267,9 @@ class Link:
         """
         if nbytes <= 0:
             raise ValueError(f"transfer size must be positive, got {nbytes}")
-        done = self.sim.event()
-        start = self.sim.event()
-        item = Transfer(nbytes, traffic_class, priority, done, self.sim.now,
+        done = Event(self.sim)
+        start = Event(self.sim)
+        item = Transfer(nbytes, traffic_class, priority, done, self.sim._now,
                         start_event=start)
         if self._busy:
             self._seq += 1
@@ -279,24 +280,32 @@ class Link:
 
     def _start(self, item: Transfer) -> None:
         self._busy = True
-        item.started_at = self.sim.now
+        sim = self.sim
+        start = sim._now
+        item.started_at = start
         if item.start_event is not None:
-            item.start_event.trigger(self.sim.now)
-        duration = item.nbytes / self.bandwidth
-        start, end = self.sim.now, self.sim.now + duration
+            item.start_event.trigger(start)
+        nbytes = item.nbytes
+        duration = nbytes / self.bandwidth
+        end = start + duration
         self.busy_bins.add_interval(start, end)
         cls = item.traffic_class
-        self.busy_time[cls] = self.busy_time.get(cls, 0.0) + duration
-        self.bytes_moved[cls] = self.bytes_moved.get(cls, 0) + item.nbytes
+        busy_time = self.busy_time
+        busy_time[cls] = busy_time.get(cls, 0.0) + duration
+        bytes_moved = self.bytes_moved
+        bytes_moved[cls] = bytes_moved.get(cls, 0) + nbytes
         bins = self.byte_bins.get(cls)
         if bins is None:
             bins = self.byte_bins[cls] = TimeBins(self.busy_bins.width)
-        bins.add(start, item.nbytes)
-        self.sim.schedule(duration, self._finish, item)
+        bins.add(start, nbytes)
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (end, seq, self._finish, (item,)))
 
     def _finish(self, item: Transfer) -> None:
         self._busy = False
-        wait = (item.started_at or item.enqueued_at) - item.enqueued_at
+        started = item.started_at
+        wait = (started if started is not None else item.enqueued_at) \
+            - item.enqueued_at
         stats = self.wait_stats.setdefault(item.traffic_class, [0, 0.0])
         stats[0] += 1
         stats[1] += wait
@@ -364,7 +373,7 @@ class Store:
 
     def get(self) -> Event:
         """Event that fires with the next available item."""
-        evt = self.sim.event()
+        evt = Event(self.sim)
         if self._items:
             evt.trigger(self._items.popleft())
         else:

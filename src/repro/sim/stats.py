@@ -7,6 +7,13 @@ the parallel runner's own metrics (:mod:`repro.experiments.runner`):
 :class:`LatencyStats` records per-point wall times and :class:`Counter`
 tallies cache hits/misses, so simulated and harness measurements share
 one reporting path.
+
+:class:`LatencyStats` maintains streaming O(1) aggregates (count, sum,
+min, max, and the M2 sum of squared deviations for variance) on every
+add.  The raw sample list that backs *exact* percentiles is optional per
+recorder: high-volume recorders that never report a percentile (per-flit
+or per-channel meters) construct with ``keep_samples=False`` and stay
+O(1) in memory no matter how many samples land.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["LatencyStats", "TimeBins", "Counter", "percentile"]
+
+_INF = float("inf")
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -50,52 +59,150 @@ class LatencyStats:
     microseconds, the experiment runner's per-point wall times in
     seconds.  Aggregates (:attr:`mean`, :attr:`max`, :attr:`min`,
     :meth:`pct`) return ``0.0`` on an empty recorder rather than
-    raising, so report tables render before any sample lands.  The
-    sorted view backing :meth:`pct` is cached and invalidated on every
+    raising, so report tables render before any sample lands.
+
+    ``keep_samples=False`` drops the raw sample list: every aggregate
+    (count/sum/mean/min/max/variance) still streams in O(1), but exact
+    percentiles are unavailable -- :meth:`pct` raises and
+    :meth:`summary` reports the tails as ``0.0``.  The sorted view
+    backing :meth:`pct` is cached and invalidated on every
     :meth:`add`/:meth:`extend`/:meth:`merge`.
     """
 
-    def __init__(self, name: str = ""):
+    __slots__ = ("name", "_samples", "_sorted", "_count", "_sum",
+                 "_min", "_max", "_m2", "_mean")
+
+    def __init__(self, name: str = "", keep_samples: bool = True):
         self.name = name
-        self._samples: List[float] = []
+        self._samples: Optional[List[float]] = [] if keep_samples else None
         self._sorted: Optional[List[float]] = None
+        self._count = 0
         self._sum = 0.0
+        self._min = _INF
+        self._max = -_INF
+        self._m2 = 0.0
+        self._mean = 0.0
+
+    @property
+    def keep_samples(self) -> bool:
+        """Whether the raw sample list (exact percentiles) is retained."""
+        return self._samples is not None
 
     def add(self, value: float) -> None:
         """Record one latency sample (microseconds)."""
-        self._samples.append(value)
+        self._count = count = self._count + 1
         self._sum += value
-        self._sorted = None
+        # Welford's update keeps the variance numerically stable online.
+        delta = value - self._mean
+        self._mean += delta / count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        samples = self._samples
+        if samples is not None:
+            samples.append(value)
+            self._sorted = None
 
     def extend(self, values: Sequence[float]) -> None:
-        """Record many samples at once."""
-        self._samples.extend(values)
+        """Record many samples at once (single pass over the input).
+
+        The input is materialized first, so one-shot iterables
+        (generators) are safe: every aggregate and the retained sample
+        list observe the same values.
+        """
+        values = list(values)
+        if not values:
+            return
         self._sum += sum(values)
-        self._sorted = None
+        for value in values:
+            self._count = count = self._count + 1
+            delta = value - self._mean
+            self._mean += delta / count
+            self._m2 += delta * (value - self._mean)
+        low = min(values)
+        high = max(values)
+        if low < self._min:
+            self._min = low
+        if high > self._max:
+            self._max = high
+        if self._samples is not None:
+            self._samples.extend(values)
+            self._sorted = None
 
     def merge(self, other: "LatencyStats") -> None:
-        """Fold *other*'s samples into this recorder (it keeps its own)."""
-        self.extend(other._samples)
+        """Fold *other*'s samples into this recorder (it keeps its own).
+
+        Safe against ``merge(self)``: the recorder is doubled rather
+        than looping over a list that grows while it is read.  Merging a
+        sample-free recorder into a sample-keeping one degrades this
+        recorder to sample-free (the union's percentiles would silently
+        lie otherwise).
+        """
+        if other is self:
+            other = _snapshot(self)
+        if other._count == 0:
+            return
+        count = self._count + other._count
+        if self._count == 0:
+            self._mean = other._mean
+            self._m2 = other._m2
+        else:
+            # Chan et al. parallel combination of the two M2 aggregates.
+            delta = other._mean - self._mean
+            self._mean += delta * (other._count / count)
+            self._m2 += other._m2 + delta * delta * (
+                self._count * other._count / count
+            )
+        self._count = count
+        self._sum += other._sum
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        if self._samples is not None:
+            if other._samples is None:
+                self._samples = None
+                self._sorted = None
+            else:
+                self._samples.extend(other._samples)
+                self._sorted = None
 
     @property
     def count(self) -> int:
         """Number of recorded samples."""
-        return len(self._samples)
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples."""
+        return self._sum
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the samples (0.0 when empty)."""
-        return self._sum / len(self._samples) if self._samples else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     @property
     def max(self) -> float:
         """Largest sample (0.0 when empty)."""
-        return max(self._samples) if self._samples else 0.0
+        return self._max if self._count else 0.0
 
     @property
     def min(self) -> float:
         """Smallest sample (0.0 when empty)."""
-        return min(self._samples) if self._samples else 0.0
+        return self._min if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples (0.0 when empty)."""
+        return self._m2 / self._count if self._count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the samples (0.0 when empty)."""
+        return math.sqrt(self.variance)
 
     def pct(self, fraction: float) -> float:
         """Percentile of the samples, e.g. ``pct(0.99)`` for p99.
@@ -103,11 +210,18 @@ class LatencyStats:
         *fraction* must be in ``[0, 1]`` (ValueError otherwise), even
         on an empty recorder -- an out-of-range tail request is a
         caller bug regardless of whether samples have landed yet.
+        Raises :class:`ValueError` on a ``keep_samples=False``
+        recorder, where exact percentiles do not exist.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-        if not self._samples:
+        if self._count == 0:
             return 0.0
+        if self._samples is None:
+            raise ValueError(
+                f"recorder {self.name!r} keeps no samples; exact "
+                "percentiles are unavailable (keep_samples=False)"
+            )
         if self._sorted is None:
             self._sorted = sorted(self._samples)
         return percentile(self._sorted, fraction)
@@ -128,19 +242,38 @@ class LatencyStats:
         return self.pct(0.999)
 
     def samples(self) -> List[float]:
-        """Copy of the raw samples."""
-        return list(self._samples)
+        """Copy of the raw samples (empty when ``keep_samples=False``)."""
+        return list(self._samples) if self._samples is not None else []
 
     def summary(self) -> Dict[str, float]:
-        """Dict of the headline statistics for report tables."""
+        """Dict of the headline statistics for report tables.
+
+        Sample-free recorders report their streaming aggregates with the
+        percentile columns pinned to ``0.0``.
+        """
+        has_pct = self._samples is not None
         return {
-            "count": float(self.count),
+            "count": float(self._count),
             "mean": self.mean,
-            "p50": self.p50,
-            "p99": self.p99,
-            "p999": self.p999,
+            "p50": self.p50 if has_pct else 0.0,
+            "p99": self.p99 if has_pct else 0.0,
+            "p999": self.p999 if has_pct else 0.0,
             "max": self.max,
         }
+
+
+def _snapshot(stats: LatencyStats) -> LatencyStats:
+    """A frozen copy of *stats*' aggregates (used by self-merge)."""
+    copy = LatencyStats(stats.name, keep_samples=stats.keep_samples)
+    copy._count = stats._count
+    copy._sum = stats._sum
+    copy._min = stats._min
+    copy._max = stats._max
+    copy._m2 = stats._m2
+    copy._mean = stats._mean
+    if stats._samples is not None:
+        copy._samples = list(stats._samples)
+    return copy
 
 
 class TimeBins:
@@ -151,6 +284,8 @@ class TimeBins:
     microseconds (default 1000 us = 1 ms, matching the paper).
     """
 
+    __slots__ = ("width", "_bins")
+
     def __init__(self, width: float = 1000.0):
         if width <= 0:
             raise ValueError(f"bin width must be positive, got {width}")
@@ -159,9 +294,9 @@ class TimeBins:
 
     def add(self, time: float, amount: float) -> None:
         """Accumulate *amount* into the bin containing *time*."""
-        self._bins[int(time // self.width)] = (
-            self._bins.get(int(time // self.width), 0.0) + amount
-        )
+        index = int(time // self.width)
+        bins = self._bins
+        bins[index] = bins.get(index, 0.0) + amount
 
     def add_interval(self, start: float, end: float) -> None:
         """Spread an interval's duration across the bins it overlaps.
@@ -171,14 +306,21 @@ class TimeBins:
         """
         if end < start:
             raise ValueError(f"interval end {end} before start {start}")
-        index = int(start // self.width)
-        last = int(end // self.width)
+        width = self.width
+        bins = self._bins
+        index = int(start // width)
+        last = int(end // width)
+        if index == last:
+            # Common case: the interval stays inside one bin.
+            if end > start:
+                bins[index] = bins.get(index, 0.0) + (end - start)
+            return
         cursor = start
         while index <= last:
-            bin_end = (index + 1) * self.width
+            bin_end = (index + 1) * width
             chunk = min(end, bin_end) - cursor
             if chunk > 0:
-                self._bins[index] = self._bins.get(index, 0.0) + chunk
+                bins[index] = bins.get(index, 0.0) + chunk
             cursor = bin_end
             index += 1
 
@@ -203,6 +345,8 @@ class TimeBins:
 
 class Counter:
     """A named bag of monotonically increasing counters."""
+
+    __slots__ = ("_counts",)
 
     def __init__(self) -> None:
         self._counts: Dict[str, float] = {}

@@ -1,0 +1,444 @@
+"""Fast-path equivalence: direct-resume kernel vs legacy callback path.
+
+The direct-resume scheduling path (``Simulator(direct_resume=True)``,
+the default) must be observationally identical to the legacy
+``Event.callbacks`` wiring (``direct_resume=False``): same event
+orderings, same ``sim.now`` traces, same interrupt/preemption
+semantics, same sequence-counter advance.  Every scenario here runs
+once under each kernel flavour and asserts the recorded traces are
+exactly equal -- the invariant that guarantees byte-identical
+experiment outputs across the optimization.
+"""
+
+import pytest
+
+from repro.controller import FlashController
+from repro.flash import FlashBackend, FlashChannel, FlashGeometry
+from repro.flash.timing import ULL_TIMING
+from repro.flash.geometry import PhysAddr
+from repro.reliability import FaultInjector
+from repro.sim import Interrupt, Link, Resource, Simulator, Store, TokenPool
+from repro.sim.kernel import SimulationError
+
+
+def run_both(scenario):
+    """Run *scenario* under both kernels; return (fast, legacy) traces."""
+    results = []
+    for direct in (True, False):
+        sim = Simulator(direct_resume=direct)
+        trace = []
+        scenario(sim, trace)
+        sim.run()
+        results.append((trace, sim.now, sim._seq))
+    fast, legacy = results
+    return fast, legacy
+
+
+def assert_equivalent(scenario):
+    fast, legacy = run_both(scenario)
+    assert fast[0] == legacy[0], "event-ordering trace diverged"
+    assert fast[1] == legacy[1], "final sim.now diverged"
+    assert fast[2] == legacy[2], "scheduled-entry count diverged"
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level scenarios.
+# ---------------------------------------------------------------------------
+
+def test_flag_roundtrip():
+    assert Simulator().direct_resume is True
+    assert Simulator(direct_resume=False).direct_resume is False
+
+
+def test_timeout_tie_ordering():
+    """Same-timestamp wakeups must dispatch in identical order."""
+
+    def scenario(sim, trace):
+        def worker(name, delay, steps):
+            for step in range(steps):
+                yield sim.timeout(delay)
+                trace.append((sim.now, name, step))
+
+        # Delays chosen so many workers collide on the same timestamps.
+        for index in range(12):
+            sim.process(worker(f"w{index}", 0.5 * (1 + index % 3), 20))
+
+    assert_equivalent(scenario)
+
+
+def test_event_trigger_values_and_fail():
+    def scenario(sim, trace):
+        evt = sim.event()
+        boom = sim.event()
+
+        def waiter(name, event):
+            try:
+                value = yield event
+                trace.append((sim.now, name, "ok", value))
+            except RuntimeError as exc:
+                trace.append((sim.now, name, "err", str(exc)))
+
+        def firer():
+            yield sim.timeout(1.0)
+            evt.trigger("payload")
+            yield sim.timeout(1.0)
+            boom.fail(RuntimeError("deliberate"))
+
+        sim.process(waiter("a", evt))
+        sim.process(waiter("b", boom))
+        sim.process(firer())
+
+    assert_equivalent(scenario)
+
+
+def test_multiple_waiters_one_event():
+    """Second waiter forces the callbacks list even on the fast kernel."""
+
+    def scenario(sim, trace):
+        evt = sim.event()
+
+        def waiter(name):
+            value = yield evt
+            trace.append((sim.now, name, value))
+
+        for index in range(5):
+            sim.process(waiter(f"w{index}"))
+
+        def firer():
+            yield sim.timeout(2.0)
+            evt.trigger(42)
+
+        sim.process(firer())
+
+    assert_equivalent(scenario)
+
+
+def test_late_add_callback_after_dispatch():
+    """Waiting on an already-fired event resumes at the current time."""
+
+    def scenario(sim, trace):
+        evt = sim.event()
+
+        def firer():
+            yield sim.timeout(1.0)
+            evt.trigger("early")
+
+        def late():
+            yield sim.timeout(5.0)
+            value = yield evt  # fired 4us ago
+            trace.append((sim.now, "late", value))
+
+        sim.process(firer())
+        sim.process(late())
+
+    assert_equivalent(scenario)
+
+
+def test_process_join_and_return_value():
+    def scenario(sim, trace):
+        def child(delay, result):
+            yield sim.timeout(delay)
+            return result
+
+        def parent():
+            first = sim.process(child(3.0, "slow"))
+            second = sim.process(child(1.0, "quick"))
+            value = yield first
+            trace.append((sim.now, "joined-first", value))
+            value = yield second  # already finished: post-dispatch wait
+            trace.append((sim.now, "joined-second", value))
+
+        sim.process(parent())
+
+    assert_equivalent(scenario)
+
+
+def test_allof_anyof_conditions():
+    def scenario(sim, trace):
+        def child(delay, result):
+            yield sim.timeout(delay)
+            return result
+
+        def coordinator():
+            procs = [sim.process(child(1.0 + i * 0.5, i)) for i in range(4)]
+            values = yield sim.all_of(procs)
+            trace.append((sim.now, "all", tuple(values)))
+            racers = [sim.process(child(2.0 + i, 10 + i)) for i in range(4)]
+            winner, value = yield sim.any_of(racers)
+            trace.append((sim.now, "any", value, winner is racers[0]))
+            yield sim.all_of(racers)
+            trace.append((sim.now, "drained"))
+
+        sim.process(coordinator())
+
+    assert_equivalent(scenario)
+
+
+def test_condition_failure_paths():
+    def scenario(sim, trace):
+        doomed = sim.event()
+
+        def ok(delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def firer():
+            yield sim.timeout(2.0)
+            doomed.fail(RuntimeError("child failed"))
+
+        def coordinator():
+            survivor = sim.process(ok(3.0))
+            events = [sim.process(ok(1.0)), doomed, survivor]
+            try:
+                yield sim.all_of(events)
+            except RuntimeError as exc:
+                trace.append((sim.now, "allof-failed", str(exc)))
+            # Let the survivor finish so both kernels drain identically.
+            yield survivor
+            trace.append((sim.now, "survivor-done"))
+
+        sim.process(firer())
+        sim.process(coordinator())
+
+    assert_equivalent(scenario)
+
+
+# ---------------------------------------------------------------------------
+# Interrupt / preemption semantics.
+# ---------------------------------------------------------------------------
+
+def test_interrupt_waiting_process():
+    def scenario(sim, trace):
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+                trace.append((sim.now, "slept"))
+            except Interrupt as intr:
+                trace.append((sim.now, "interrupted", intr.cause))
+                yield sim.timeout(1.0)
+                trace.append((sim.now, "recovered"))
+
+        victim = sim.process(sleeper())
+
+        def gc_like():
+            yield sim.timeout(5.0)
+            victim.interrupt("preempt")
+
+        sim.process(gc_like())
+
+    assert_equivalent(scenario)
+
+
+def test_interrupt_resource_holder_releases_in_finally():
+    """Preemptive-GC pattern: the held slot must not leak on interrupt."""
+
+    def scenario(sim, trace):
+        resource = Resource(sim, capacity=1)
+
+        def holder():
+            grant = resource.request()
+            try:
+                yield grant
+                trace.append((sim.now, "holder-granted"))
+                yield sim.timeout(50.0)
+                trace.append((sim.now, "holder-finished"))
+            except Interrupt:
+                trace.append((sim.now, "holder-preempted"))
+            finally:
+                resource.cancel(grant)
+
+        def contender():
+            yield sim.timeout(1.0)
+            grant = resource.request()
+            yield grant
+            trace.append((sim.now, "contender-granted"))
+            resource.release()
+
+        victim = sim.process(holder())
+        sim.process(contender())
+
+        def preemptor():
+            yield sim.timeout(10.0)
+            victim.interrupt()
+
+        sim.process(preemptor())
+
+    assert_equivalent(scenario)
+
+
+def test_interrupt_finished_process_is_noop():
+    def scenario(sim, trace):
+        def quick():
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.process(quick())
+
+        def late_interrupter():
+            yield sim.timeout(5.0)
+            proc.interrupt("too late")
+            value = yield proc
+            trace.append((sim.now, "joined", value))
+
+        sim.process(late_interrupter())
+
+    assert_equivalent(scenario)
+
+
+def test_fault_injection_retry_semantics():
+    """Seeded channel/die faults must replay identically on both kernels."""
+
+    def scenario(sim, trace):
+        geometry = FlashGeometry(channels=1, ways=1, dies=1, planes=2,
+                                 blocks_per_plane=8, pages_per_block=8)
+        backend = FlashBackend(sim, geometry, ULL_TIMING)
+        channel = FlashChannel(sim, 0, 1000.0)
+        controller = FlashController(sim, 0, channel, backend)
+        controller.fault_injector = FaultInjector(
+            sim, channel_fault_rate=0.4, die_fault_rate=0.3, seed=7)
+
+        def io():
+            for page in range(6):
+                addr = PhysAddr(0, 0, 0, 0, 0, page)
+                breakdown = yield from controller.program_page(addr)
+                trace.append((sim.now, "programmed", page,
+                              round(breakdown.total, 9)))
+            for page in range(6):
+                addr = PhysAddr(0, 0, 0, 0, 0, page)
+                breakdown = yield from controller.read_page(addr)
+                trace.append((sim.now, "read", page,
+                              round(breakdown.total, 9)))
+
+        sim.process(io())
+
+    assert_equivalent(scenario)
+
+
+# ---------------------------------------------------------------------------
+# Resource-layer scenarios.
+# ---------------------------------------------------------------------------
+
+def test_resource_priority_scheduling():
+    def scenario(sim, trace):
+        resource = Resource(sim, capacity=2)
+
+        def user(name, priority, hold):
+            grant = resource.request(priority)
+            yield grant
+            trace.append((sim.now, name, "granted"))
+            yield sim.timeout(hold)
+            resource.release()
+            trace.append((sim.now, name, "released"))
+
+        for index in range(8):
+            sim.process(user(f"u{index}", priority=index % 3,
+                             hold=1.0 + index * 0.25))
+
+    assert_equivalent(scenario)
+
+
+def test_tokenpool_credit_flow():
+    def scenario(sim, trace):
+        pool = TokenPool(sim, capacity=4)
+
+        def borrower(name, count, hold):
+            grant = pool.acquire(count)
+            yield grant
+            trace.append((sim.now, name, "got", count))
+            yield sim.timeout(hold)
+            pool.release(count)
+
+        sim.process(borrower("a", 3, 2.0))
+        sim.process(borrower("b", 2, 1.0))
+        sim.process(borrower("c", 4, 0.5))
+        sim.process(borrower("d", 1, 1.5))
+
+    assert_equivalent(scenario)
+
+
+def test_link_serialization_and_start_events():
+    def scenario(sim, trace):
+        link = Link(sim, bandwidth=100.0)
+
+        def sender(name, nbytes, when):
+            yield sim.timeout(when)
+            start, done = link.transfer_with_start(nbytes, "io")
+            yield start
+            trace.append((sim.now, name, "start"))
+            wait = yield done
+            trace.append((sim.now, name, "done", wait))
+
+        sim.process(sender("x", 500, 0.0))
+        sim.process(sender("y", 300, 1.0))
+        sim.process(sender("z", 700, 1.0))
+
+    assert_equivalent(scenario)
+
+
+def test_store_fifo_handoff():
+    def scenario(sim, trace):
+        store = Store(sim)
+
+        def producer():
+            for index in range(6):
+                yield sim.timeout(1.0)
+                store.put(index)
+
+        def consumer(name):
+            for _ in range(3):
+                item = yield store.get()
+                trace.append((sim.now, name, item))
+
+        sim.process(producer())
+        sim.process(consumer("c0"))
+        sim.process(consumer("c1"))
+
+    assert_equivalent(scenario)
+
+
+def test_yield_non_event_raises_on_both_kernels():
+    for direct in (True, False):
+        sim = Simulator(direct_resume=direct)
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: a full SSD point must be bit-identical across kernels.
+# ---------------------------------------------------------------------------
+
+def _ssd_fingerprint(direct_resume, monkeypatch):
+    import repro.core.ssd as ssd_module
+    from repro.core import build_ssd
+    from repro.workloads import SyntheticWorkload
+
+    monkeypatch.setattr(
+        ssd_module, "Simulator",
+        lambda: Simulator(direct_resume=direct_resume))
+    ssd = build_ssd("dssd_f")
+    assert ssd.sim.direct_resume is direct_resume
+    workload = SyntheticWorkload(pattern="mixed", io_size=4096,
+                                 read_fraction=0.5)
+    ssd.run(workload, duration_us=3000.0)
+    ftl = ssd.ftl
+    return {
+        "now": ssd.sim.now,
+        "seq": ssd.sim._seq,
+        "requests": ftl.requests_completed,
+        "read_latency": ftl.read_latency.summary(),
+        "write_latency": ftl.write_latency.summary(),
+        "fnoc_packets": ssd.fnoc.packets_sent,
+        "fnoc_bytes": ssd.fnoc.bytes_sent,
+        "copybacks": ssd.datapath.copybacks_completed,
+    }
+
+
+def test_end_to_end_ssd_point_identical(monkeypatch):
+    fast = _ssd_fingerprint(True, monkeypatch)
+    legacy = _ssd_fingerprint(False, monkeypatch)
+    assert fast == legacy
