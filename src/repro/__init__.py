@@ -24,6 +24,7 @@ from .errors import (
     FlashError,
     MappingError,
     ReproError,
+    SnapshotError,
     UncorrectableError,
 )
 
@@ -33,6 +34,7 @@ __all__ = [
     "FlashError",
     "MappingError",
     "ReproError",
+    "SnapshotError",
     "UncorrectableError",
     "__version__",
     "build_ssd",

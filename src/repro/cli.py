@@ -10,6 +10,7 @@ Usage::
     python -m repro fig8 --no-cache      # ignore + bypass cached points
     python -m repro fig13 --progress     # per-point progress on stderr
     repro-dssd fig14                     # console-script alias
+    python -m repro fleet --devices 16   # sharded fleet with aged devices
     python -m repro bench                # kernel perf suite -> BENCH_kernel.json
     python -m repro bench --quick --check BENCH_kernel.json   # CI perf gate
 
@@ -65,6 +66,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--progress", action="store_true",
         help="print one line per completed sweep point to stderr",
     )
+    parser.add_argument(
+        "--devices", type=int, default=16, metavar="N",
+        help="fleet: number of simulated SSD shards (default 16; "
+             "ignored by other experiments)",
+    )
     bench_group = parser.add_argument_group(
         "bench options", "only used with the 'bench' experiment")
     bench_group.add_argument(
@@ -113,7 +119,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         started = time.time()
         with configured(jobs=jobs, cache=not args.no_cache,
                         progress=args.progress, metrics=metrics):
-            result = module.run(quick=not args.full)
+            if name == "fleet":
+                result = module.run(quick=not args.full,
+                                    devices=args.devices)
+            else:
+                result = module.run(quick=not args.full)
         elapsed = time.time() - started
         print(f"=== {name} ({module.__name__.rsplit('.', 1)[-1]}, "
               f"{elapsed:.1f}s) ===")

@@ -80,6 +80,14 @@ class Breakdown:
         """Components in canonical order (zero-filled)."""
         return {c: self.parts.get(c, 0.0) for c in COMPONENTS}
 
+    @classmethod
+    def from_parts(cls, parts: Dict[str, float]) -> "Breakdown":
+        """Rebuild a breakdown from a ``parts`` mapping (checkpoints)."""
+        result = cls()
+        for component, duration in parts.items():
+            result.add(component, float(duration))
+        return result
+
     def __repr__(self) -> str:
         parts = ", ".join(
             f"{c}={v:.2f}" for c, v in self.parts.items() if v > 0

@@ -57,3 +57,11 @@ class SystemBus:
     def bandwidth_timeline(self, traffic_class: str):
         """Per-bin achieved bandwidth (bytes/us) for one class."""
         return self.link.bandwidth_timeline(traffic_class)
+
+    def state_dict(self) -> dict:
+        """Checkpoint the bus meters (the bus must be idle)."""
+        return {"link": self.link.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        """Restore meters captured by :meth:`state_dict`."""
+        self.link.load_state(state["link"])

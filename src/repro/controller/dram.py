@@ -72,3 +72,19 @@ class Dram:
         """Mean busy fraction across the two DRAM ports."""
         return (self.read_link.utilization(horizon)
                 + self.write_link.utilization(horizon)) / 2.0
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint port meters; the write buffer must be drained."""
+        if self.buffered_pages:
+            raise ConfigError(
+                f"cannot snapshot DRAM with {self.buffered_pages} dirty "
+                "write-buffer page(s)")
+        return {"read_link": self.read_link.state_dict(),
+                "write_link": self.write_link.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        """Restore meters captured by :meth:`state_dict`."""
+        self.read_link.load_state(state["read_link"])
+        self.write_link.load_state(state["write_link"])

@@ -81,3 +81,17 @@ class EccEngine:
         if horizon <= 0:
             return 0.0
         return min(1.0, self.busy_time / (horizon * self._lanes.capacity))
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint the engine meters (all lanes must be idle)."""
+        if self._lanes.in_use or self._lanes.queue_length:
+            raise ConfigError(f"cannot snapshot busy ECC engine {self.name!r}")
+        return {"pages_checked": self.pages_checked,
+                "busy_time": self.busy_time}
+
+    def load_state(self, state: dict) -> None:
+        """Restore meters captured by :meth:`state_dict`."""
+        self.pages_checked = int(state["pages_checked"])
+        self.busy_time = float(state["busy_time"])

@@ -88,3 +88,21 @@ class HostInterface:
         """Generator: move request data over the host link."""
         wait = yield self.link.transfer(nbytes, traffic_class, priority)
         return wait
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint counters + link meters; all slots must be free."""
+        if self.outstanding:
+            raise ConfigError(
+                f"cannot snapshot host interface with {self.outstanding} "
+                "outstanding request(s)")
+        return {"submitted": self.submitted,
+                "completed": self.completed,
+                "link": self.link.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint."""
+        self.submitted = int(state["submitted"])
+        self.completed = int(state["completed"])
+        self.link.load_state(state["link"])

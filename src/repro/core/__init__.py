@@ -1,5 +1,26 @@
-"""The paper's contribution: decoupled SSD architectures and assembly."""
+"""The paper's contribution: decoupled SSD architectures and assembly.
 
+:func:`build_ssd` assembles a full simulated device from an
+:class:`ArchPreset` (paper Table 2) or an explicit :class:`SSDConfig`;
+:class:`SimulatedSSD` drives workloads through it (single-stream
+:meth:`~SimulatedSSD.run` or multi-tenant
+:meth:`~SimulatedSSD.run_tenants`).  The checkpoint protocol
+(:func:`snapshot_ssd` / :func:`restore_ssd` /
+:func:`fastforward_wear`, see :mod:`repro.core.checkpoint`) serializes
+a quiescent device to JSON and restores it byte-identically -- the
+substrate the fleet orchestration (:mod:`repro.fleet`) shards on.
+"""
+
+from .checkpoint import (
+    SNAPSHOT_SCHEMA,
+    config_from_state,
+    config_to_state,
+    fastforward_wear,
+    load_snapshot,
+    restore_ssd,
+    save_snapshot,
+    snapshot_ssd,
+)
 from .config import (
     ArchPreset,
     SSDConfig,
@@ -27,19 +48,27 @@ __all__ = [
     "ArchPreset",
     "BaselineDatapath",
     "build_ssd",
+    "config_from_state",
+    "config_to_state",
     "CopybackCommand",
     "CopybackStatus",
     "CopybackTransport",
     "DecoupledDatapath",
     "DedicatedBusTransport",
+    "fastforward_wear",
     "FnocTransport",
+    "load_snapshot",
     "MultiTenantResult",
     "paper_geometry",
+    "restore_ssd",
     "RunResult",
-    "TenantResult",
+    "save_snapshot",
     "SharedBusTransport",
     "sim_geometry",
     "SimulatedSSD",
+    "snapshot_ssd",
+    "SNAPSHOT_SCHEMA",
     "SSDConfig",
     "superblock_geometry",
+    "TenantResult",
 ]

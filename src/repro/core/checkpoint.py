@@ -1,0 +1,337 @@
+"""Versioned device checkpoints: snapshot, restore, fast-forward.
+
+A *snapshot* captures the complete observable state of a quiescent
+:class:`~repro.core.ssd.SimulatedSSD` -- FTL mapping and block pools,
+per-block flash wear, superblock SRT/RBT tables, reliability page
+records, every accumulated meter, every RNG stream, and the DES clock --
+as one JSON-able dict.  Restoring the snapshot into a freshly built
+device and continuing the run is **byte-identical** to never having
+stopped: the same traces, the same latency samples, the same experiment
+tables (``tests/test_checkpoint.py`` proves it per architecture).
+
+Quiescence is the load-bearing constraint.  Generator-based processes
+cannot be serialized, so a snapshot is only legal when no callback is
+scheduled and no request is in flight: the host queue is empty, the
+write buffer is drained, and no GC episode is running.  Driving a run
+with ``max_requests`` (no ``duration_us``) ends at exactly such a
+point.  Configurations with background wear-leveling keep a perpetual
+timer in the event heap and therefore cannot snapshot (the kernel
+raises).
+
+Fast-forwarding (:func:`fastforward_wear`) ages a device analytically
+-- bumping every block's erase count to a fraction of its sampled P/E
+limit -- so endurance and fleet experiments start from worn devices
+without simulating months of traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import SnapshotError
+from ..flash import FlashGeometry, FlashTiming, PhysAddr
+from .config import ArchPreset, SSDConfig
+from .copyback import CopybackCommand
+from .datapath import DecoupledDatapath
+from .transport import DedicatedBusTransport
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "config_from_state",
+    "config_to_state",
+    "fastforward_wear",
+    "load_snapshot",
+    "restore_ssd",
+    "save_snapshot",
+    "snapshot_ssd",
+]
+
+#: Bump on any incompatible change to the snapshot layout.
+SNAPSHOT_SCHEMA = 1
+
+
+# -- config round-trip --------------------------------------------------------
+
+def config_to_state(config: SSDConfig) -> dict:
+    """JSON-able encoding of an :class:`SSDConfig` (nested dataclasses)."""
+    state = dataclasses.asdict(config)
+    state["arch"] = config.arch.value
+    return state
+
+
+def config_from_state(state: dict) -> SSDConfig:
+    """Rebuild the exact :class:`SSDConfig` a snapshot was taken with.
+
+    JSON turns tuples into lists, so the tuple-typed fields (flash
+    timing ranges, ECC ladder steps) are coerced back on the way in.
+    """
+    state = dict(state)
+    arch = ArchPreset(state.pop("arch"))
+    geometry = FlashGeometry(
+        **{key: int(value)
+           for key, value in state.pop("geometry").items()})
+    timing_state = dict(state.pop("timing"))
+    timing = FlashTiming(
+        name=timing_state["name"],
+        read_us=tuple(float(v) for v in timing_state["read_us"]),
+        program_us=tuple(float(v) for v in timing_state["program_us"]),
+        erase_us=float(timing_state["erase_us"]),
+        page_size=int(timing_state["page_size"]),
+    )
+    reliability_state = state.pop("reliability")
+    reliability = None
+    if reliability_state is not None:
+        from ..reliability import ReliabilityConfig
+
+        reliability_state = dict(reliability_state)
+        reliability_state["ladder_correct_bits"] = tuple(
+            int(v) for v in reliability_state["ladder_correct_bits"])
+        reliability_state["ladder_latency_scales"] = tuple(
+            float(v) for v in reliability_state["ladder_latency_scales"])
+        reliability = ReliabilityConfig(**reliability_state)
+    return SSDConfig(arch=arch, geometry=geometry, timing=timing,
+                     reliability=reliability, **state)
+
+
+# -- snapshot -----------------------------------------------------------------
+
+def _copyback_log_state(log) -> list:
+    return [
+        {"src": list(command.src), "dst": list(command.dst),
+         "status": command.status,
+         "history": [[status, when] for status, when in command.history]}
+        for command in log
+    ]
+
+
+def _copyback_log_load(entries) -> list:
+    log = []
+    for entry in entries:
+        command = CopybackCommand(
+            src=PhysAddr(*(int(v) for v in entry["src"])),
+            dst=PhysAddr(*(int(v) for v in entry["dst"])),
+        )
+        command.status = entry["status"]
+        command.history = [(status, float(when))
+                           for status, when in entry["history"]]
+        log.append(command)
+    return log
+
+
+def snapshot_ssd(ssd) -> dict:
+    """Capture the complete state of a quiescent *ssd* as a JSON-able dict.
+
+    Raises :class:`~repro.errors.SnapshotError` (or a component-level
+    error) when the device is not quiescent: scheduled callbacks,
+    outstanding host requests, dirty write-buffer pages, an active GC
+    episode, or an attached multi-queue frontend all block the
+    snapshot.
+    """
+    if ssd.frontend is not None:
+        raise SnapshotError(
+            "cannot snapshot a device with a multi-queue frontend attached "
+            "(run_tenants sessions are single-use)")
+    # The kernel check comes first: it catches every source of in-flight
+    # work that owns a scheduled callback (wear-leveler timers included).
+    sim_state = ssd.sim.snapshot_state()
+    datapath = ssd.datapath
+    state = {
+        "schema": SNAPSHOT_SCHEMA,
+        "config": config_to_state(ssd.config),
+        "sim": sim_state,
+        "prefilled": ssd._prefilled,
+        "lpn_space": ssd.lpn_space,
+        "measure": {
+            "measure_start": ssd._measure_start,
+            "io_bytes_snapshot": getattr(ssd, "_io_bytes_snapshot", 0.0),
+            "bus_busy_snapshot": dict(ssd._bus_busy_snapshot),
+            "gc_snapshot": list(ssd._gc_snapshot),
+        },
+        "backend": ssd.backend.state_dict(),
+        "planes": [plane.state_dict() for plane in ssd.backend.planes],
+        "channels": [channel.state_dict() for channel in ssd.channels],
+        "controllers": [
+            {"pages_read": c.pages_read,
+             "pages_programmed": c.pages_programmed,
+             "blocks_erased": c.blocks_erased}
+            for c in ssd.controllers
+        ],
+        "bus": ssd.bus.state_dict(),
+        "dram": ssd.dram.state_dict(),
+        "host": ssd.host.state_dict(),
+        "ftl": ssd.ftl.state_dict(),
+        "gc": ssd.gc.state_dict(),
+        "datapath": {
+            "copybacks_completed": datapath.copybacks_completed,
+            "read_retries_performed": datapath.read_retries_performed,
+        },
+        "wear_model": (datapath.wear_model.state_dict()
+                       if datapath.wear_model is not None else None),
+        "fnoc": ssd.fnoc.state_dict() if ssd.fnoc is not None else None,
+        "reliability": (ssd.reliability.state_dict()
+                        if ssd.reliability is not None else None),
+    }
+    if isinstance(datapath, DecoupledDatapath):
+        state["ecc"] = [engine.state_dict()
+                        for engine in datapath.ecc_engines]
+        state["datapath"]["unchecked_copies"] = datapath.unchecked_copies
+        state["datapath"]["copyback_log"] = _copyback_log_state(
+            datapath.copyback_log)
+        if isinstance(datapath.transport, DedicatedBusTransport):
+            state["transport_link"] = datapath.transport.link.state_dict()
+    else:
+        state["ecc"] = [datapath.ecc.state_dict()]
+    return state
+
+
+# -- restore ------------------------------------------------------------------
+
+def restore_ssd(state: dict):
+    """Build a fresh device and install a :func:`snapshot_ssd` state.
+
+    The returned :class:`~repro.core.ssd.SimulatedSSD` continues
+    byte-identically to a device that never stopped: its flusher pool
+    is respawned and parked exactly as the original's was, then the
+    simulation clock and the event sequence counter are rewound onto
+    the snapshot's values, so every future event carries the same
+    ``(time, seq)`` key it would have carried in an uninterrupted run.
+    """
+    from .ssd import SimulatedSSD
+
+    schema = state.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise SnapshotError(
+            f"snapshot schema {schema!r} != supported {SNAPSHOT_SCHEMA}")
+    config = config_from_state(state["config"])
+    ssd = SimulatedSSD(config)
+
+    ssd.backend.load_state(state["backend"])
+    for plane, plane_state in zip(ssd.backend.planes, state["planes"]):
+        plane.load_state(plane_state)
+    for channel, channel_state in zip(ssd.channels, state["channels"]):
+        channel.load_state(channel_state)
+    for controller, c_state in zip(ssd.controllers, state["controllers"]):
+        controller.pages_read = int(c_state["pages_read"])
+        controller.pages_programmed = int(c_state["pages_programmed"])
+        controller.blocks_erased = int(c_state["blocks_erased"])
+    ssd.bus.load_state(state["bus"])
+    ssd.dram.load_state(state["dram"])
+    ssd.host.load_state(state["host"])
+    ssd.ftl.load_state(state["ftl"])
+    ssd.gc.load_state(state["gc"])
+
+    datapath = ssd.datapath
+    dp_state = state["datapath"]
+    datapath.copybacks_completed = int(dp_state["copybacks_completed"])
+    datapath.read_retries_performed = int(dp_state["read_retries_performed"])
+    if state["wear_model"] is not None:
+        datapath.wear_model.load_state(state["wear_model"])
+    if isinstance(datapath, DecoupledDatapath):
+        for engine, e_state in zip(datapath.ecc_engines, state["ecc"]):
+            engine.load_state(e_state)
+        datapath.unchecked_copies = int(dp_state["unchecked_copies"])
+        datapath.copyback_log = _copyback_log_load(dp_state["copyback_log"])
+        if isinstance(datapath.transport, DedicatedBusTransport):
+            datapath.transport.link.load_state(state["transport_link"])
+    else:
+        datapath.ecc.load_state(state["ecc"][0])
+    if ssd.fnoc is not None:
+        ssd.fnoc.load_state(state["fnoc"])
+    if ssd.reliability is not None:
+        ssd.reliability.load_state(state["reliability"])
+
+    ssd._prefilled = bool(state["prefilled"])
+    ssd.lpn_space = int(state["lpn_space"])
+    measure = state["measure"]
+    ssd._measure_start = float(measure["measure_start"])
+    ssd._io_bytes_snapshot = float(measure["io_bytes_snapshot"])
+    ssd._bus_busy_snapshot = {key: float(value)
+                              for key, value
+                              in measure["bus_busy_snapshot"].items()}
+    ssd._gc_snapshot = (int(measure["gc_snapshot"][0]),
+                        float(measure["gc_snapshot"][1]))
+
+    # Respawn the flusher pool at time zero and let the workers park on
+    # the (empty) flush queue -- the bootstrap events drain and leave no
+    # heap entries, exactly the state the original device's flushers
+    # were in at the quiescent point.  Only *then* rewind the clock and
+    # the event sequence counter, so phase-two events get the same
+    # (time, seq) keys as in an uninterrupted run.
+    ssd.ftl.start()
+    ssd.sim.run()
+    ssd.sim.restore_state(state["sim"])
+    return ssd
+
+
+# -- persistence --------------------------------------------------------------
+
+def save_snapshot(state: dict, path: Union[str, Path]) -> Path:
+    """Write a snapshot dict as (optionally gzipped) canonical JSON.
+
+    A ``.gz`` suffix selects gzip framing; either form round-trips via
+    :func:`load_snapshot`.
+    """
+    path = Path(path)
+    payload = json.dumps(state, sort_keys=True,
+                         separators=(",", ":")).encode()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".gz":
+        # mtime=0 and an empty embedded name keep the archive
+        # content-addressable: identical snapshots produce identical
+        # bytes regardless of wall time or target filename.
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(filename="", mode="wb", fileobj=raw,
+                               mtime=0) as fh:
+                fh.write(payload)
+    else:
+        path.write_bytes(payload)
+    return path
+
+
+def load_snapshot(path: Union[str, Path]) -> dict:
+    """Read a snapshot written by :func:`save_snapshot`."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rb") as fh:
+            return json.loads(fh.read())
+    return json.loads(path.read_bytes())
+
+
+# -- fast-forward aging -------------------------------------------------------
+
+def fastforward_wear(ssd, pe_fraction: float,
+                     limit_mean: Optional[float] = None) -> int:
+    """Analytically age *ssd* to *pe_fraction* of its P/E budget.
+
+    Every block's erase count jumps to ``pe_fraction`` of its limit --
+    the per-block Gaussian limit when the reliability stack (or read-
+    retry wear model) is attached, otherwise a uniform *limit_mean*
+    (default: the paper's P/E mean).  Deterministic under the device
+    seed.  Returns the total erase cycles applied.  Intended to run on
+    a freshly built (or prefilled) device before any traffic.
+    """
+    from ..flash.wear import PAPER_PE_MEAN
+
+    if not 0.0 <= pe_fraction < 1.0:
+        raise SnapshotError(f"pe_fraction out of [0,1): {pe_fraction}")
+    wear = None
+    if ssd.reliability is not None:
+        wear = ssd.reliability.rber_model.wear
+    elif ssd.datapath.wear_model is not None:
+        wear = ssd.datapath.wear_model
+    mean = limit_mean if limit_mean is not None else PAPER_PE_MEAN
+    geometry = ssd.config.geometry
+    total_blocks = geometry.planes_total * geometry.blocks_per_plane
+    applied = 0
+    for index in range(total_blocks):
+        limit = wear.limit_for(index) if wear is not None else mean
+        count = int(pe_fraction * limit)
+        if count <= 0:
+            continue
+        ssd.backend._block_state_at(index).erase_count = count
+        applied += count
+    return applied

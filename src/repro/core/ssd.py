@@ -441,6 +441,22 @@ class SimulatedSSD:
                                  arbiter=self.config.arbiter,
                                  arb_burst=self.config.arb_burst)
 
+    # -- checkpointing -----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Checkpoint the device at a quiescent point.
+
+        Returns a JSON-able dict that
+        :func:`~repro.core.checkpoint.restore_ssd` turns back into a
+        device whose continued run is byte-identical to never having
+        stopped.  Only legal when nothing is in flight -- finish a
+        ``max_requests``-bounded :meth:`run` first.  See
+        :mod:`repro.core.checkpoint`.
+        """
+        from .checkpoint import snapshot_ssd
+
+        return snapshot_ssd(self)
+
     def _collect(self) -> RunResult:
         horizon = self.sim.now
         window = max(horizon - self._measure_start, 1e-9)

@@ -7,6 +7,7 @@ __all__ = [
     "UncorrectableError",
     "ConfigError",
     "MappingError",
+    "SnapshotError",
 ]
 
 
@@ -32,3 +33,7 @@ class ConfigError(ReproError, ValueError):
 
 class MappingError(ReproError):
     """FTL or superblock mapping inconsistency."""
+
+
+class SnapshotError(ReproError):
+    """A device checkpoint cannot be taken or restored."""

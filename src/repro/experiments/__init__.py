@@ -27,6 +27,7 @@ from . import (
     fig15_srt_performance,
     fig16_srt_size,
     fig17_multitenant,
+    fig_fleet,
     fig_reliability,
     table3_qualitative,
 )
@@ -54,6 +55,7 @@ EXPERIMENTS = {
     "table3": table3_qualitative,
     "ablations": ablations,
     "reliability": fig_reliability,
+    "fleet": fig_fleet,
 }
 
 __all__ = [

@@ -69,3 +69,11 @@ class FlashChannel:
     def utilization(self, horizon: Optional[float] = None) -> float:
         """Busy fraction of the bus."""
         return self.link.utilization(horizon)
+
+    def state_dict(self) -> dict:
+        """Checkpoint the bus meters (the bus must be idle)."""
+        return {"link": self.link.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        """Restore meters captured by :meth:`state_dict`."""
+        self.link.load_state(state["link"])

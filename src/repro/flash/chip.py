@@ -106,6 +106,19 @@ class FlashPlane:
         horizon = horizon if horizon is not None else self.sim.now
         return min(1.0, self.busy_time / horizon) if horizon > 0 else 0.0
 
+    def state_dict(self) -> dict:
+        """Checkpoint the plane's meters (the slot itself must be idle)."""
+        if self.resource.in_use or self.resource.queue_length:
+            raise FlashError(f"cannot snapshot busy plane {self.name!r}")
+        return {"busy_time": self.busy_time,
+                "op_counts": dict(self.op_counts)}
+
+    def load_state(self, state: dict) -> None:
+        """Restore meters captured by :meth:`state_dict`."""
+        self.busy_time = float(state["busy_time"])
+        self.op_counts = {op: int(count)
+                          for op, count in state["op_counts"].items()}
+
 
 class FlashBackend:
     """The full flash array: every plane of every die, plus block state.
@@ -285,6 +298,38 @@ class FlashBackend:
         ]
         waits = yield self.sim.all_of(procs)
         return OpBreakdown(max(waits), duration)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-able checkpoint: per-block program/erase state + RNG.
+
+        Programmed-page sets are stored per touched block (sorted
+        ``[index, [pages...], erase_count]`` triples); untouched blocks
+        need no entry.  The timing RNG position is captured so a
+        non-deterministic-timing device resumes the same latency
+        stream.
+        """
+        from ..sim import rng_state_dict
+
+        blocks = []
+        for index in sorted(self._blocks):
+            state = self._blocks[index]
+            blocks.append([index, sorted(state.programmed),
+                           state.erase_count])
+        return {"blocks": blocks, "rng": rng_state_dict(self._rng)}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint (same geometry)."""
+        from ..sim import rng_load_state
+
+        self._blocks = {}
+        for index, programmed, erase_count in state["blocks"]:
+            block = BlockState()
+            block.programmed = set(int(page) for page in programmed)
+            block.erase_count = int(erase_count)
+            self._blocks[int(index)] = block
+        rng_load_state(self._rng, state["rng"])
 
     # -- reporting ---------------------------------------------------------------
 

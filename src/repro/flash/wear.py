@@ -104,3 +104,19 @@ class WearModel:
         """Clear cached limits and restart the sample stream."""
         self._rng = random.Random(self._seed)
         self._limits.clear()
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-able checkpoint: cached limits + RNG stream position."""
+        from ..sim import int_key_pairs, rng_state_dict
+
+        return {"limits": int_key_pairs(self._limits, int),
+                "rng": rng_state_dict(self._rng)}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint."""
+        from ..sim import pairs_to_int_dict, rng_load_state
+
+        self._limits = pairs_to_int_dict(state["limits"], int)
+        rng_load_state(self._rng, state["rng"])

@@ -1,0 +1,31 @@
+"""Fleet-scale sharded simulation.
+
+Orchestrates N independent simulated SSDs -- heterogeneous configs and
+pre-aged wear states -- behind a consistent-hash tenant placement map,
+fans the shards over the experiment runner's worker pool, and merges
+per-device latency recorders into exact fleet-level p99/p999.  Built on
+the device checkpoint protocol (:mod:`repro.core.checkpoint`): every
+shard boots by restoring an aged snapshot, so aging is paid once per
+unique device recipe, not once per shard.
+"""
+
+from .orchestrator import (
+    DeviceSpec,
+    FleetSpec,
+    TenantStream,
+    device_snapshot_state,
+    run_fleet,
+    shard_point,
+)
+from .placement import ConsistentHashRing, stable_hash
+
+__all__ = [
+    "ConsistentHashRing",
+    "DeviceSpec",
+    "FleetSpec",
+    "TenantStream",
+    "device_snapshot_state",
+    "run_fleet",
+    "shard_point",
+    "stable_hash",
+]

@@ -297,6 +297,54 @@ class BlockManager:
         info.valid.clear()
         self.bad_blocks += 1
 
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-able checkpoint of allocator + validity state.
+
+        Only legal at quiescence: a block with ``pending`` allocations
+        has programs in flight, which cannot be serialized.  Free-pool
+        deques are stored in order -- allocation rotation is part of the
+        deterministic schedule a restored device must reproduce.
+        """
+        blocks = []
+        for index in sorted(self.blocks):
+            info = self.blocks[index]
+            if info.pending:
+                raise MappingError(
+                    f"cannot snapshot block {info.addr} with "
+                    f"{info.pending} pending allocation(s)"
+                )
+            blocks.append([index, info.state, info.write_ptr,
+                           sorted(info.valid)])
+        return {
+            "blocks": blocks,
+            "free": [list(pool) for pool in self._free],
+            "active": list(self._active),
+            "cursor": self._cursor,
+            "free_blocks": self.free_blocks,
+            "bad_blocks": self.bad_blocks,
+            "spare_blocks": self.spare_blocks,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint (same geometry)."""
+        if len(state["free"]) != self.geometry.planes_total:
+            raise MappingError("restored free pools do not match geometry")
+        for index, block_state, write_ptr, valid in state["blocks"]:
+            info = self.blocks[int(index)]
+            info.state = block_state
+            info.write_ptr = int(write_ptr)
+            info.valid = set(int(page) for page in valid)
+            info.pending = 0
+        self._free = [deque(int(i) for i in pool) for pool in state["free"]]
+        self._active = [None if index is None else int(index)
+                        for index in state["active"]]
+        self._cursor = int(state["cursor"])
+        self.free_blocks = int(state["free_blocks"])
+        self.bad_blocks = int(state["bad_blocks"])
+        self.spare_blocks = int(state["spare_blocks"])
+
     # -- instant pre-conditioning ---------------------------------------------
 
     def prefill_block(self, addr: PhysAddr,

@@ -283,6 +283,46 @@ class Ftl:
         """Component-wise mean of sampled per-request breakdowns."""
         return Breakdown.mean(self.io_breakdowns)
 
+    # -- checkpointing ---------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-able checkpoint of mapping, blocks, and all I/O meters.
+
+        Only legal at a quiescent point: the write buffer must be
+        drained (no dirty pages, empty flush queue) so no in-flight
+        request state exists outside these tables.
+        """
+        if self._dirty or len(self._flush_queue):
+            raise ConfigError(
+                f"cannot snapshot FTL with {len(self._dirty)} dirty "
+                f"page(s) and {len(self._flush_queue)} queued flush(es)")
+        return {
+            "mapping": self.mapping.state_dict(),
+            "blocks": self.blocks.state_dict(),
+            "io_latency": self.io_latency.state_dict(),
+            "read_latency": self.read_latency.state_dict(),
+            "write_latency": self.write_latency.state_dict(),
+            "completed_bytes": self.completed_bytes.state_dict(),
+            "requests_completed": self.requests_completed,
+            "trims_processed": self.trims_processed,
+            "flush_stalls": self.flush_stalls,
+            "io_breakdowns": [b.parts for b in self.io_breakdowns],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint (same geometry)."""
+        self.mapping.load_state(state["mapping"])
+        self.blocks.load_state(state["blocks"])
+        self.io_latency.load_state(state["io_latency"])
+        self.read_latency.load_state(state["read_latency"])
+        self.write_latency.load_state(state["write_latency"])
+        self.completed_bytes.load_state(state["completed_bytes"])
+        self.requests_completed = int(state["requests_completed"])
+        self.trims_processed = int(state["trims_processed"])
+        self.flush_stalls = int(state["flush_stalls"])
+        self.io_breakdowns = [Breakdown.from_parts(parts)
+                              for parts in state["io_breakdowns"]]
+
     # -- pre-conditioning -------------------------------------------------------------
 
     def prefill(self, fill_fraction: float = 0.9,

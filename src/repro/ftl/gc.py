@@ -55,6 +55,32 @@ class GcStats:
         """Component-wise mean of sampled page-move breakdowns."""
         return Breakdown.mean(self.move_breakdowns)
 
+    # -- checkpointing ------------------------------------------------------
+
+    _COUNTERS = (
+        "pages_moved", "pages_dropped", "alloc_stalls", "blocks_erased",
+        "blocks_retired", "blocks_remapped", "episodes",
+    )
+
+    def state_dict(self) -> dict:
+        """JSON-able checkpoint of all GC measurements."""
+        return {
+            "counters": {name: getattr(self, name)
+                         for name in self._COUNTERS},
+            "busy_time": self.busy_time,
+            "move_breakdowns": [b.parts for b in self.move_breakdowns],
+            "episode_log": [dict(entry) for entry in self.episode_log],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint."""
+        for name in self._COUNTERS:
+            setattr(self, name, int(state["counters"][name]))
+        self.busy_time = float(state["busy_time"])
+        self.move_breakdowns = [Breakdown.from_parts(parts)
+                                for parts in state["move_breakdowns"]]
+        self.episode_log = [dict(entry) for entry in state["episode_log"]]
+
 
 class GarbageCollector:
     """Policy-driven GC over a :class:`BlockManager` and a datapath."""
@@ -99,6 +125,18 @@ class GarbageCollector:
         self._episode_start: Optional[float] = None
         self._tt_tokens = Resource(sim, capacity=tinytail_channels,
                                    name="tinytail_channels")
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint GC stats (no episode may be running)."""
+        if self.active:
+            raise ConfigError("cannot snapshot during an active GC episode")
+        return {"stats": self.stats.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        """Restore stats captured by :meth:`state_dict`."""
+        self.stats.load_state(state["stats"])
 
     # -- triggering ----------------------------------------------------------
 

@@ -77,6 +77,27 @@ class PageMappingTable:
         self._reverse[new_ppn] = lpn
         return lpn
 
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-able checkpoint of the forward map (reverse is derived).
+
+        Emitted as sorted ``[lpn, ppn]`` pairs because JSON stringifies
+        integer dict keys.
+        """
+        return {
+            "forward": [[lpn, ppn]
+                        for lpn, ppn in sorted(self._forward.items())],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Rebuild both maps from a :meth:`state_dict` checkpoint."""
+        self._forward = {int(lpn): int(ppn)
+                         for lpn, ppn in state["forward"]}
+        self._reverse = {ppn: lpn for lpn, ppn in self._forward.items()}
+        if len(self._reverse) != len(self._forward):
+            raise MappingError("restored mapping is not injective")
+
     def check_consistency(self) -> None:
         """Verify the mirror invariant (test/debug helper)."""
         if len(self._forward) != len(self._reverse):

@@ -276,6 +276,32 @@ class FNoC:
             hops=hop_count,
         )
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint fabric meters (all channels must be idle).
+
+        Channel links are keyed ``"u->v"`` (JSON objects cannot key on
+        tuples); topology and routing are structural and rebuilt from
+        config.
+        """
+        return {
+            "packets_sent": self.packets_sent,
+            "bytes_sent": self.bytes_sent,
+            "packet_latency": self.packet_latency.state_dict(),
+            "channels": {f"{u}->{v}": link.state_dict()
+                         for (u, v), link in sorted(self._channels.items())},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore meters captured by :meth:`state_dict` (same topology)."""
+        self.packets_sent = int(state["packets_sent"])
+        self.bytes_sent = int(state["bytes_sent"])
+        self.packet_latency.load_state(state["packet_latency"])
+        for key, link_state in state["channels"].items():
+            u, v = key.split("->")
+            self._channels[(int(u), int(v))].load_state(link_state)
+
     # -- reporting ----------------------------------------------------------
 
     def mean_channel_utilization(self) -> float:

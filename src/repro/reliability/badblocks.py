@@ -116,6 +116,44 @@ class BadBlockManager:
         self.retired_blocks += 1
         return "retired"
 
+    # -- checkpointing ------------------------------------------------------
+
+    @staticmethod
+    def _encode_entry(entry):
+        """JSON encoding for table entries (PhysAddr -> 6-int list)."""
+        if isinstance(entry, PhysAddr):
+            return list(entry)
+        return entry
+
+    @staticmethod
+    def _decode_entry(entry):
+        """Inverse of :meth:`_encode_entry` (lists become PhysAddr)."""
+        if isinstance(entry, (list, tuple)):
+            return PhysAddr(*(int(field) for field in entry))
+        return int(entry)
+
+    def state_dict(self) -> dict:
+        """JSON-able checkpoint of all per-channel RBT/SRT tables."""
+        return {
+            "rbt": [table.state_dict(self._encode_entry)
+                    for table in self.rbt],
+            "srt": [table.state_dict(self._encode_entry)
+                    for table in self.srt],
+            "remapped_blocks": self.remapped_blocks,
+            "retired_blocks": self.retired_blocks,
+            "spares_provisioned": self.spares_provisioned,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint (same geometry)."""
+        for table, table_state in zip(self.rbt, state["rbt"]):
+            table.load_state(table_state, self._decode_entry)
+        for table, table_state in zip(self.srt, state["srt"]):
+            table.load_state(table_state, self._decode_entry)
+        self.remapped_blocks = int(state["remapped_blocks"])
+        self.retired_blocks = int(state["retired_blocks"])
+        self.spares_provisioned = int(state["spares_provisioned"])
+
     @property
     def spares_remaining(self) -> int:
         """Spare blocks still pooled across all channels."""

@@ -261,6 +261,49 @@ class ReliabilityEngine:
         return self.badblocks.retire(base_addr,
                                      mark_bad_addr=victim.block_addr())
 
+    # -- checkpointing ----------------------------------------------------------------
+
+    _COUNTERS = (
+        "reads_checked", "errors_seen", "errors_corrected",
+        "ladder_retries", "raid_recoveries", "uncorrectable_pages",
+        "checked_copies", "unchecked_copies", "copy_errors_scrubbed",
+        "copy_errors_propagated", "survivors_ge2", "max_generation",
+    )
+
+    def state_dict(self) -> dict:
+        """JSON-able checkpoint of the whole reliability state machine.
+
+        Covers per-page error records, all counters, the transient-error
+        RNG, the RBER model's wear-limit cache, the fault injector and
+        the bad-block tables.  The datapath wiring (:meth:`attach`) is
+        structural and re-established at rebuild, not snapshotted.
+        """
+        from ..sim import int_key_pairs, rng_state_dict
+
+        return {
+            "pages": int_key_pairs(self._pages, list),
+            "counters": {name: getattr(self, name)
+                         for name in self._COUNTERS},
+            "rng": rng_state_dict(self._rng),
+            "wear": self.rber_model.wear.state_dict(),
+            "faults": self.faults.state_dict(),
+            "badblocks": self.badblocks.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint (same config)."""
+        from ..sim import pairs_to_int_dict, rng_load_state
+
+        self._pages = pairs_to_int_dict(
+            state["pages"],
+            lambda rec: (int(rec[0]), int(rec[1]), float(rec[2])))
+        for name in self._COUNTERS:
+            setattr(self, name, int(state["counters"][name]))
+        rng_load_state(self._rng, state["rng"])
+        self.rber_model.wear.load_state(state["wear"])
+        self.faults.load_state(state["faults"])
+        self.badblocks.load_state(state["badblocks"])
+
     # -- reporting ---------------------------------------------------------------------
 
     def stats_dict(self) -> Dict[str, float]:

@@ -90,3 +90,27 @@ class FaultInjector:
         if delay > 0:
             yield self.sim.timeout(delay)
         return True
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-able checkpoint: fault counters + Bernoulli stream."""
+        from ..sim import rng_state_dict
+
+        return {"rng": rng_state_dict(self._rng),
+                "channel_faults": self.channel_faults,
+                "die_faults": self.die_faults,
+                "retries": self.retries,
+                "exhausted": self.exhausted,
+                "retry_delay_total": self.retry_delay_total}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint."""
+        from ..sim import rng_load_state
+
+        rng_load_state(self._rng, state["rng"])
+        self.channel_faults = int(state["channel_faults"])
+        self.die_faults = int(state["die_faults"])
+        self.retries = int(state["retries"])
+        self.exhausted = int(state["exhausted"])
+        self.retry_delay_total = float(state["retry_delay_total"])

@@ -11,6 +11,12 @@ from .kernel import (
     Timeout,
 )
 from .resources import Link, Resource, Store, TokenPool, Transfer
+from .snapshot import (
+    int_key_pairs,
+    pairs_to_int_dict,
+    rng_load_state,
+    rng_state_dict,
+)
 from .stats import Counter, LatencyStats, TimeBins, percentile
 
 __all__ = [
@@ -18,12 +24,16 @@ __all__ = [
     "AnyOf",
     "Counter",
     "Event",
+    "int_key_pairs",
     "Interrupt",
     "LatencyStats",
     "Link",
+    "pairs_to_int_dict",
     "percentile",
     "Process",
     "Resource",
+    "rng_load_state",
+    "rng_state_dict",
     "SimulationError",
     "Simulator",
     "Store",

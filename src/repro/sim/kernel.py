@@ -501,6 +501,44 @@ class Simulator:
             self._running = False
         return self._now
 
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Checkpoint the kernel: only legal at a *quiescent point*.
+
+        Python generators cannot be serialized, so the kernel refuses to
+        snapshot while any callback is scheduled -- the event queue must
+        be empty (every process parked on an untriggered event, or
+        finished).  ``run()`` without an ``until`` bound drains to
+        exactly this state.  Returns a JSON-able dict holding the clock
+        and the event sequence counter; restoring both makes events
+        scheduled after the restore carry the same ``(time, seq)`` keys
+        as they would in an uninterrupted run.
+        """
+        if self._queue:
+            raise SimulationError(
+                f"cannot snapshot: {len(self._queue)} callback(s) still "
+                "scheduled (snapshot only at a quiescent point -- run the "
+                "simulation to completion first)"
+            )
+        if self._running:
+            raise SimulationError("cannot snapshot while the loop is running")
+        return {"now": self._now, "seq": self._seq}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` checkpoint onto this kernel.
+
+        The queue must be empty (drain any bootstrap events first --
+        e.g. freshly respawned background processes -- so their entries
+        do not carry pre-restore sequence numbers into the future).
+        """
+        if self._queue:
+            raise SimulationError(
+                "cannot restore into a simulator with scheduled callbacks"
+            )
+        self.now = self._now = float(state["now"])
+        self._seq = int(state["seq"])
+
     def step(self) -> bool:
         """Execute a single queued callback; return False if queue empty."""
         if not self._queue:

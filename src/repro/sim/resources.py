@@ -347,6 +347,46 @@ class Link:
         times, totals = bins.series()
         return times, [total / bins.width for total in totals]
 
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpoint the link's accumulated meters (idle links only).
+
+        In-flight or queued transfers hold generator state that cannot
+        be serialized, so snapshotting a busy link is an error -- the
+        checkpoint layer only runs at device quiescence, where every
+        link is idle by construction.
+        """
+        if self._busy or self._queue:
+            raise RuntimeError(
+                f"cannot snapshot busy link {self.name!r} "
+                f"(queued={len(self._queue)})"
+            )
+        return {
+            "busy_bins": self.busy_bins.state_dict(),
+            "byte_bins": {cls: bins.state_dict()
+                          for cls, bins in self.byte_bins.items()},
+            "busy_time": dict(self.busy_time),
+            "bytes_moved": dict(self.bytes_moved),
+            "wait_stats": {cls: list(stats)
+                           for cls, stats in self.wait_stats.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore meters captured by :meth:`state_dict`."""
+        self.busy_bins.load_state(state["busy_bins"])
+        self.byte_bins = {}
+        for cls, bins_state in state["byte_bins"].items():
+            bins = TimeBins(self.busy_bins.width)
+            bins.load_state(bins_state)
+            self.byte_bins[cls] = bins
+        self.busy_time = {cls: float(v)
+                          for cls, v in state["busy_time"].items()}
+        self.bytes_moved = {cls: int(v)
+                            for cls, v in state["bytes_moved"].items()}
+        self.wait_stats = {cls: [int(stats[0]), float(stats[1])]
+                           for cls, stats in state["wait_stats"].items()}
+
 
 class Store:
     """An unbounded FIFO queue connecting processes.

@@ -1,0 +1,52 @@
+"""Small shared helpers for the checkpoint/restore protocol.
+
+Every component that participates in checkpointing exposes a
+``state_dict() -> dict`` / ``load_state(dict)`` pair returning strict
+JSON (no tuples, no int dict keys, no NamedTuples).  This module holds
+the two encodings that recur across layers:
+
+* seeded ``random.Random`` streams (the backend's timing draws, the
+  wear model's Gaussian limits, the reliability engine's Poisson
+  sampling, the fault injector's Bernoulli rolls) -- captured with
+  :func:`rng_state_dict` so a restored device continues the *same*
+  deterministic stream instead of restarting it;
+* dicts keyed by integers (block indices, page indices), which JSON
+  would silently stringify -- round-tripped as ``[key, value]`` pairs
+  by :func:`int_key_pairs` / :func:`pairs_to_int_dict`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List
+
+__all__ = [
+    "int_key_pairs",
+    "pairs_to_int_dict",
+    "rng_load_state",
+    "rng_state_dict",
+]
+
+
+def rng_state_dict(rng: random.Random) -> list:
+    """JSON-able encoding of a ``random.Random`` stream position."""
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def rng_load_state(rng: random.Random, state: list) -> None:
+    """Resume *rng* at a position captured by :func:`rng_state_dict`."""
+    version, internal, gauss_next = state
+    rng.setstate((version, tuple(internal), gauss_next))
+
+
+def int_key_pairs(mapping: Dict[int, Any],
+                  encode=lambda value: value) -> List[list]:
+    """Sorted ``[key, encode(value)]`` pairs of an int-keyed dict."""
+    return [[key, encode(value)] for key, value in sorted(mapping.items())]
+
+
+def pairs_to_int_dict(pairs: Iterable[list],
+                      decode=lambda value: value) -> Dict[int, Any]:
+    """Inverse of :func:`int_key_pairs`."""
+    return {int(key): decode(value) for key, value in pairs}

@@ -245,6 +245,52 @@ class LatencyStats:
         """Copy of the raw samples (empty when ``keep_samples=False``)."""
         return list(self._samples) if self._samples is not None else []
 
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able checkpoint of every aggregate plus the samples.
+
+        Round-trips exactly through :meth:`load_state` /
+        :meth:`from_state`: counts, Welford terms, min/max, and (when
+        kept) the raw sample list, so a restored recorder reports
+        byte-identical means, variances, and percentiles.  Infinities
+        (the empty recorder's min/max sentinels) are encoded as the
+        count-0 state and re-derived on load, keeping the dict strict
+        JSON.
+        """
+        state: Dict[str, object] = {
+            "name": self.name,
+            "count": self._count,
+            "sum": self._sum,
+            "m2": self._m2,
+            "mean": self._mean,
+        }
+        if self._count:
+            state["min"] = self._min
+            state["max"] = self._max
+        if self._samples is not None:
+            state["samples"] = list(self._samples)
+        return state
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Overwrite this recorder with a :meth:`state_dict` checkpoint."""
+        self.name = state["name"]
+        self._count = int(state["count"])
+        self._sum = float(state["sum"])
+        self._m2 = float(state["m2"])
+        self._mean = float(state["mean"])
+        self._min = float(state["min"]) if self._count else _INF
+        self._max = float(state["max"]) if self._count else -_INF
+        samples = state.get("samples")
+        self._samples = [float(v) for v in samples] \
+            if samples is not None else None
+        self._sorted = None
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "LatencyStats":
+        """A fresh recorder rebuilt from a :meth:`state_dict` checkpoint."""
+        stats = cls()
+        stats.load_state(state)
+        return stats
+
     def summary(self) -> Dict[str, float]:
         """Dict of the headline statistics for report tables.
 
@@ -342,6 +388,24 @@ class TimeBins:
         """Sum over all bins."""
         return sum(self._bins.values())
 
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able checkpoint: bin width plus ``[index, amount]`` pairs.
+
+        Integer bin indices are emitted as explicit pairs (not dict
+        keys) because JSON would silently stringify them.
+        """
+        return {
+            "width": self.width,
+            "bins": [[index, amount]
+                     for index, amount in sorted(self._bins.items())],
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Overwrite these bins with a :meth:`state_dict` checkpoint."""
+        self.width = float(state["width"])
+        self._bins = {int(index): float(amount)
+                      for index, amount in state["bins"]}
+
 
 class Counter:
     """A named bag of monotonically increasing counters."""
@@ -367,3 +431,11 @@ class Counter:
     def as_dict(self) -> Dict[str, float]:
         """Snapshot of all counters."""
         return dict(self._counts)
+
+    def state_dict(self) -> Dict[str, float]:
+        """JSON-able checkpoint (same shape as :meth:`as_dict`)."""
+        return dict(self._counts)
+
+    def load_state(self, state: Dict[str, float]) -> None:
+        """Overwrite every counter with a :meth:`state_dict` checkpoint."""
+        self._counts = {key: float(value) for key, value in state.items()}

@@ -55,6 +55,28 @@ class RecycleBlockTable:
         """Snapshot of the pool (oldest first)."""
         return list(self._entries)
 
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self, encode=None) -> dict:
+        """JSON-able checkpoint; *encode* maps opaque entries to JSON.
+
+        Entries keep their FIFO order.  The default encoder passes
+        entries through unchanged (fine for ints/strings); callers
+        holding richer descriptors (e.g. physical addresses) supply an
+        encoder.
+        """
+        encode = encode or (lambda entry: entry)
+        return {"entries": [encode(entry) for entry in self._entries],
+                "total_added": self.total_added,
+                "total_taken": self.total_taken}
+
+    def load_state(self, state: dict, decode=None) -> None:
+        """Restore a :meth:`state_dict` checkpoint."""
+        decode = decode or (lambda entry: entry)
+        self._entries = deque(decode(entry) for entry in state["entries"])
+        self.total_added = int(state["total_added"])
+        self.total_taken = int(state["total_taken"])
+
 
 class SuperblockRemapTable:
     """Bounded remap table: dead sub-block address -> recycled block.
@@ -110,3 +132,29 @@ class SuperblockRemapTable:
     def entries(self) -> Dict[Hashable, Hashable]:
         """Copy of the live remap entries."""
         return dict(self._map)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self, encode=None) -> dict:
+        """JSON-able checkpoint; *encode* maps opaque keys/values to JSON.
+
+        Remap entries are stored as ``[key, target]`` pairs in insertion
+        order (dict order), so a restore reproduces the same iteration
+        order.
+        """
+        encode = encode or (lambda entry: entry)
+        return {"map": [[encode(key), encode(target)]
+                        for key, target in self._map.items()],
+                "inserts": self.inserts,
+                "rejected": self.rejected,
+                "occupancy_log": [[i, n] for i, n in self.occupancy_log]}
+
+    def load_state(self, state: dict, decode=None) -> None:
+        """Restore a :meth:`state_dict` checkpoint."""
+        decode = decode or (lambda entry: entry)
+        self._map = {decode(key): decode(target)
+                     for key, target in state["map"]}
+        self.inserts = int(state["inserts"])
+        self.rejected = int(state["rejected"])
+        self.occupancy_log = [(int(i), int(n))
+                              for i, n in state["occupancy_log"]]

@@ -10,7 +10,7 @@ from repro.experiments.common import format_table, normalized
 def test_experiments_registry_covers_every_figure():
     expected = {"fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
                 "fig13", "fig14", "fig15", "fig16", "fig17", "table3",
-                "ablations", "reliability"}
+                "ablations", "reliability", "fleet"}
     assert set(EXPERIMENTS) == expected
 
 

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Documentation health checks: markdown links + pdoc API reference.
+
+Two gates, both exercised by the CI ``docs`` job:
+
+1. **Markdown links.**  Every relative link in the repo's markdown
+   files must point at a file (or directory) that exists, and every
+   intra-document ``#anchor`` must match a heading in the target file.
+   External ``http(s)``/``mailto`` links are not fetched (CI must not
+   depend on third-party uptime).
+2. **API reference.**  The ``repro`` package is rendered with pdoc
+   with warnings promoted to errors, so an unresolvable cross-reference
+   (a docstring linking ``:class:`` / `` `Name` `` to something that
+   does not exist) fails the build instead of silently producing a
+   dead link.  pdoc is not a runtime dependency: without
+   ``--require-pdoc`` the step degrades to a skip when pdoc is not
+   installed, so the checker runs in minimal environments too.
+
+Usage::
+
+    python tools/check_docs.py                 # markdown + API if pdoc present
+    python tools/check_docs.py --require-pdoc  # CI: missing pdoc is a failure
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target).  Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Markdown headings, for anchor validation.
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: Fenced code blocks -- links inside them are examples, not links.
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _markdown_files() -> List[Path]:
+    """Every tracked-looking markdown file (skip caches and VCS dirs)."""
+    files = []
+    for path in sorted(REPO.rglob("*.md")):
+        parts = set(path.relative_to(REPO).parts)
+        if parts & {".git", "node_modules", "__pycache__", ".pytest_cache"}:
+            continue
+        files.append(path)
+    return files
+
+
+def _anchor_of(heading: str) -> str:
+    """GitHub's heading -> anchor slug (lowercase, dashes, stripped)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {_anchor_of(h) for h in _HEADING.findall(text)}
+
+
+def _iter_links(path: Path) -> Iterable[str]:
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        yield match.group(1)
+
+
+def check_markdown() -> List[str]:
+    """All broken relative links/anchors, as ``file: link`` strings."""
+    problems: List[str] = []
+    for md in _markdown_files():
+        for link in _iter_links(md):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", link):  # http:, mailto:, ...
+                continue
+            target, _, anchor = link.partition("#")
+            base = md.parent / target if target else md
+            if target and not base.exists():
+                problems.append(
+                    f"{md.relative_to(REPO)}: broken link -> {link}")
+                continue
+            if anchor and base.suffix == ".md" and base.exists():
+                if _anchor_of(anchor) not in _anchors(base):
+                    problems.append(
+                        f"{md.relative_to(REPO)}: missing anchor -> {link}")
+    return problems
+
+
+def check_api_reference(require: bool) -> Tuple[bool, List[str]]:
+    """Render the pdoc API reference with warnings as errors.
+
+    Returns ``(ran, problems)``; ``ran`` is False when pdoc is not
+    installed and *require* is False (the gated local path).
+    """
+    try:
+        import pdoc
+        import pdoc.render
+    except ImportError:
+        if require:
+            return True, ["pdoc is not installed (pip install pdoc) but "
+                          "--require-pdoc was given"]
+        return False, []
+
+    sys.path.insert(0, str(REPO / "src"))
+    problems: List[str] = []
+    with tempfile.TemporaryDirectory() as out:
+        with warnings.catch_warnings():
+            # Any pdoc warning -- unresolved cross-reference, failed
+            # submodule import, bad docstring markup -- is a failure.
+            warnings.simplefilter("error")
+            try:
+                pdoc.pdoc("repro", output_directory=Path(out))
+            except Warning as warning:
+                problems.append(f"pdoc warning (broken reference?): "
+                                f"{warning}")
+            except Exception as error:  # pragma: no cover - render bug
+                problems.append(f"pdoc failed: {error!r}")
+        if not problems:
+            rendered = list(Path(out).rglob("*.html"))
+            if not rendered:
+                problems.append("pdoc produced no HTML output")
+            else:
+                print(f"pdoc: rendered {len(rendered)} pages cleanly")
+    return True, problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--require-pdoc", action="store_true",
+                        help="fail (rather than skip) when pdoc is missing")
+    args = parser.parse_args(argv)
+
+    problems = check_markdown()
+    print(f"markdown: checked {len(_markdown_files())} files, "
+          f"{len(problems)} broken link(s)")
+
+    ran, api_problems = check_api_reference(require=args.require_pdoc)
+    if not ran:
+        print("pdoc: not installed, API-reference check skipped "
+              "(install pdoc or pass --require-pdoc in CI)")
+    problems.extend(api_problems)
+
+    for problem in problems:
+        print(f"ERROR: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
