@@ -13,6 +13,8 @@ Usage::
     python -m repro fleet --devices 16   # sharded fleet with aged devices
     python -m repro bench                # kernel perf suite -> BENCH_kernel.json
     python -m repro bench --quick --check BENCH_kernel.json   # CI perf gate
+    python -m repro fuzz --smoke         # coverage-guided fuzzer, CI gate
+    python -m repro fuzz repro case.json # replay a minimized fuzz repro
 
 Sweep points fan out over ``--jobs`` worker processes (default: every
 CPU core) and completed points are cached under ``~/.cache/repro-dssd/``
@@ -37,6 +39,13 @@ __all__ = ["main"]
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments, run the requested experiment(s), print tables."""
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "fuzz":
+        # The fuzzer has its own option surface; hand off before the
+        # experiment parser can reject its flags.
+        from .fuzz.cli import main as fuzz_main
+        return fuzz_main(raw[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-dssd",
         description="Decoupled SSD (ISCA'23) reproduction experiments",
@@ -44,8 +53,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all", "bench"],
-        help="paper figure/table to regenerate, or 'bench' for the "
-             "hot-path benchmark suite",
+        help="paper figure/table to regenerate, 'bench' for the "
+             "hot-path benchmark suite, or 'fuzz' for the workload "
+             "fuzzer (see 'fuzz --help')",
     )
     parser.add_argument(
         "--full", action="store_true",

@@ -62,7 +62,7 @@ class EccEngine:
         if scale <= 0:
             raise ConfigError(f"ECC decode scale must be positive: {scale}")
         t_request = self.sim.now
-        grant = self._lanes.request(priority)
+        grant = self._lanes.request(priority, owner=self.name or "ecc")
         service_start = None
         try:
             yield grant

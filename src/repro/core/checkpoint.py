@@ -45,6 +45,7 @@ __all__ = [
     "config_to_state",
     "fastforward_wear",
     "load_snapshot",
+    "quiescence_report",
     "restore_ssd",
     "save_snapshot",
     "snapshot_ssd",
@@ -122,6 +123,36 @@ def _copyback_log_load(entries) -> list:
     return log
 
 
+def quiescence_report(ssd) -> list:
+    """Enumerate everything keeping *ssd* away from a quiescent point.
+
+    Returns a list of human-readable lines, one per blocker: scheduled
+    kernel callbacks (with owning-process names), non-idle registered
+    resources (semaphore slots and tokens still held, with owner labels
+    where the holder provided one), outstanding host requests, dirty
+    write-buffer pages, and an active GC episode.  Empty means the
+    device is quiescent and :func:`snapshot_ssd` will succeed.
+
+    The fuzzer's leaked-hold oracle calls this after a drained run:
+    any surviving entry is a hold that leaked.
+    """
+    report = []
+    sim = ssd.sim
+    if sim._queue:
+        report.extend(sim.pending_summary())
+    report.extend(sim.outstanding_holds())
+    outstanding = ssd.host.outstanding
+    if outstanding:
+        report.append(f"host interface: {outstanding} request(s) in flight")
+    if ssd.gc.active:
+        report.append("garbage collector: episode in progress")
+    frontend = ssd.frontend
+    if frontend is not None and frontend.inflight:
+        report.append(
+            f"frontend: {frontend.inflight} submission(s) in flight")
+    return report
+
+
 def snapshot_ssd(ssd) -> dict:
     """Capture the complete state of a quiescent *ssd* as a JSON-able dict.
 
@@ -129,15 +160,25 @@ def snapshot_ssd(ssd) -> dict:
     error) when the device is not quiescent: scheduled callbacks,
     outstanding host requests, dirty write-buffer pages, an active GC
     episode, or an attached multi-queue frontend all block the
-    snapshot.
+    snapshot.  The error message enumerates the blocking holds by name
+    (see :func:`quiescence_report`).
     """
     if ssd.frontend is not None:
         raise SnapshotError(
             "cannot snapshot a device with a multi-queue frontend attached "
             "(run_tenants sessions are single-use)")
     # The kernel check comes first: it catches every source of in-flight
-    # work that owns a scheduled callback (wear-leveler timers included).
+    # work that owns a scheduled callback (wear-leveler timers included)
+    # and raises SimulationError with the pending-callback enumeration.
     sim_state = ssd.sim.snapshot_state()
+    # The queue can be empty while slots stay held (a leaked hold with
+    # no waiter parks nothing in the heap) -- name the leaks explicitly
+    # rather than letting a component state_dict fail opaquely later.
+    leaks = quiescence_report(ssd)
+    if leaks:
+        raise SnapshotError(
+            "cannot snapshot: device is not quiescent; outstanding: "
+            + "; ".join(leaks))
     datapath = ssd.datapath
     state = {
         "schema": SNAPSHOT_SCHEMA,

@@ -283,6 +283,29 @@ class Ftl:
         """Component-wise mean of sampled per-request breakdowns."""
         return Breakdown.mean(self.io_breakdowns)
 
+    def audit(self) -> List[str]:
+        """Cross-check the translation invariants; returns violations.
+
+        Verifies the LPN<->PPN mirror (both directions agree) and that
+        the number of mapped LPNs equals the number of valid flash
+        pages across all blocks.  Meant for quiescent points -- pages
+        staged in the write buffer are not yet bound, so the counts
+        only line up once the flushers have drained.  An empty list
+        means the tables are consistent; the fuzzer's mapping oracle
+        treats any entry as a violation.
+        """
+        problems: List[str] = []
+        try:
+            self.mapping.check_consistency()
+        except MappingError as exc:
+            problems.append(f"mapping mirror broken: {exc}")
+        mapped = len(self.mapping)
+        valid = sum(len(info.valid) for info in self.blocks.blocks.values())
+        if mapped != valid:
+            problems.append(
+                f"mapped LPNs ({mapped}) != valid flash pages ({valid})")
+        return problems
+
     # -- checkpointing ---------------------------------------------------------------
 
     def state_dict(self) -> dict:

@@ -249,7 +249,8 @@ class GarbageCollector:
             chunk = pages[start:start + burst]
             if self.policy == "preemptive":
                 yield from self._wait_for_io_quiet()
-            grant = self._tt_tokens.request() if gated else None
+            grant = (self._tt_tokens.request(owner="gc-tinytail")
+                     if gated else None)
             try:
                 if grant is not None:
                     yield grant
@@ -260,7 +261,8 @@ class GarbageCollector:
                 if grant is not None:
                     self._tt_tokens.cancel(grant)
 
-        grant = self._tt_tokens.request() if gated else None
+        grant = (self._tt_tokens.request(owner="gc-tinytail-erase")
+                 if gated else None)
         try:
             if grant is not None:
                 yield grant

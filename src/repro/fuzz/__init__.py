@@ -1,0 +1,40 @@
+"""Coverage-guided workload fuzzer over NVMe command sequences.
+
+The scenario-discovery engine the ROADMAP names: a typed genome of
+NVMe-level operations (:mod:`~repro.fuzz.genome`) is mutated by seeded
+structural mutators (:mod:`~repro.fuzz.mutate`), replayed through the
+real :class:`~repro.core.ssd.SimulatedSSD` datapath
+(:mod:`~repro.fuzz.executor`), and scored by branch-edge coverage of
+the FTL/QoS/reliability code plus semantic device-state features
+(:mod:`~repro.fuzz.coverage`).  Novel genomes enter a content-addressed
+corpus (:mod:`~repro.fuzz.corpus`); invariant oracles
+(:mod:`~repro.fuzz.oracles`) trip on deadlock, leaked holds at
+quiescence, mapping inconsistencies, QoS accounting errors, latency
+cliffs, and snapshot-restore divergence; any tripping sequence is
+ddmin-shrunk (:mod:`~repro.fuzz.minimize`) into a self-contained JSON
+repro replayable via ``repro fuzz repro <case.json>``.
+
+Everything is deterministic: the same seed produces the same corpus
+(byte-identical content hash) for any ``--jobs`` setting, because each
+generation's candidate batch is derived from the seeded RNG *before*
+any execution is dispatched and results are folded in batch order.
+"""
+
+from .corpus import Corpus
+from .engine import FuzzReport, run_fuzz
+from .executor import execute
+from .genome import FuzzOp, Genome, GenomeConfig
+from .minimize import ddmin
+from .mutate import mutate
+
+__all__ = [
+    "Corpus",
+    "FuzzOp",
+    "FuzzReport",
+    "Genome",
+    "GenomeConfig",
+    "ddmin",
+    "execute",
+    "mutate",
+    "run_fuzz",
+]

@@ -1,0 +1,46 @@
+"""Test-only canary bug: a deliberately leaked queue slot.
+
+When the hidden ``REPRO_DSSD_FUZZ_CANARY`` environment flag is set, the
+executor installs a wrapper that reproduces the PR-3 bug class on
+purpose: a TRIM of 5+ pages silently steals one host queue slot and
+never returns it -- exactly the kind of interrupt-path leak the
+checkpoint quiescence guards and the fuzzer's leaked-hold oracle exist
+to catch.  ``tests/test_fuzz.py`` asserts the fuzzer discovers this
+within a bounded execution budget and ddmin-shrinks it to a handful of
+ops; with the flag unset the minimized repro must replay clean.
+
+Never set this flag outside the validation tests.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["CANARY_ENV", "canary_enabled", "maybe_install"]
+
+CANARY_ENV = "REPRO_DSSD_FUZZ_CANARY"
+
+
+def canary_enabled() -> bool:
+    """Whether the hidden leaked-hold bug should be injected."""
+    return os.environ.get(CANARY_ENV, "") == "1"
+
+
+def maybe_install(ssd) -> None:
+    """Wrap ``ssd.ftl.submit`` with the leaky TRIM path when enabled."""
+    if not canary_enabled():
+        return
+    from ..ftl.request import TRIM
+
+    real_submit = ssd.ftl.submit
+    slots = ssd.host._slots
+
+    def leaky_submit(request):
+        if request.op == TRIM and request.n_pages >= 5:
+            # The bug: an extra slot acquired on a side path with no
+            # matching release/cancel.  The grant fires immediately
+            # whenever a slot is free and is then dropped on the floor.
+            slots.acquire(1, owner="canary-leak")
+        return real_submit(request)
+
+    ssd.ftl.submit = leaky_submit

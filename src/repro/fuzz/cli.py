@@ -1,0 +1,134 @@
+"""The ``repro fuzz`` command-line verb.
+
+Usage::
+
+    python -m repro fuzz --smoke --seed 7      # deterministic CI gate
+    python -m repro fuzz --execs 500 --jobs 4  # longer exploration
+    python -m repro fuzz --time 60             # wall-clock budget
+    python -m repro fuzz repro case.json       # replay a saved repro
+
+Exit codes: 0 when no oracle tripped (or a replayed repro no longer
+reproduces), 1 when a violation was found (or a replay still
+reproduces), 2 when a ``--smoke`` run misses its pinned coverage floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import SMOKE_EXECS, SMOKE_MIN_EDGES, run_fuzz
+from .executor import execute
+from .genome import ARCHES, Genome
+
+__all__ = ["main", "replay_case"]
+
+
+def replay_case(path: Path) -> dict:
+    """Replay a saved repro case; returns the execution outcome."""
+    case = json.loads(Path(path).read_text())
+    genome = Genome.from_dict(case["genome"])
+    return execute(genome, collect_coverage=False)
+
+
+def _run_repro(path: str) -> int:
+    case = json.loads(Path(path).read_text())
+    oracle = case.get("oracle")
+    outcome = replay_case(Path(path))
+    tripped = [v for v in outcome["violations"]
+               if oracle is None or v["oracle"] == oracle]
+    print(f"replayed {path}: status={outcome['status']}")
+    for violation in outcome["violations"]:
+        print(f"  violation: {violation['oracle']}: {violation['detail']}")
+    if tripped:
+        print(f"repro CONFIRMED ({oracle or 'any oracle'})")
+        return 1
+    print("repro no longer triggers (fixed?)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "repro":
+        if len(argv) != 2:
+            print("usage: repro fuzz repro <case.json>", file=sys.stderr)
+            return 2
+        return _run_repro(argv[1])
+
+    parser = argparse.ArgumentParser(
+        prog="repro-dssd fuzz",
+        description="coverage-guided fuzzing of NVMe command sequences "
+                    "against the simulated SSD's invariant oracles",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, metavar="N",
+        help="RNG seed for the mutation schedule (default 7)",
+    )
+    parser.add_argument(
+        "--execs", type=int, default=None, metavar="N",
+        help="stop after N genome executions",
+    )
+    parser.add_argument(
+        "--time", type=float, default=None, metavar="SECONDS",
+        help="stop after a wall-clock budget (non-deterministic stop "
+             "point; don't combine with corpus-hash comparisons)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes per batch (default 1; results are "
+             "identical for any value)",
+    )
+    parser.add_argument(
+        "--arch", choices=ARCHES, default=None,
+        help="pin every genome to one architecture preset",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"CI mode: exactly {SMOKE_EXECS} execs, asserts at least "
+             f"{SMOKE_MIN_EDGES} distinct coverage edges",
+    )
+    parser.add_argument(
+        "--corpus-dir", metavar="DIR", default=None,
+        help="persist interesting genomes as <hash>.json here",
+    )
+    parser.add_argument(
+        "--repro-dir", metavar="DIR", default=".",
+        help="write minimized repro cases here (default: cwd)",
+    )
+    parser.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip ddmin shrinking of failing genomes",
+    )
+    args = parser.parse_args(argv)
+
+    execs = args.execs
+    time_budget = args.time
+    if args.smoke:
+        execs = SMOKE_EXECS
+        time_budget = None
+
+    report = run_fuzz(
+        seed=args.seed,
+        execs=execs,
+        time_budget_s=time_budget,
+        jobs=max(args.jobs, 1),
+        arch=args.arch,
+        corpus_root=Path(args.corpus_dir) if args.corpus_dir else None,
+        repro_dir=Path(args.repro_dir) if args.repro_dir else None,
+        minimize=not args.no_minimize,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+
+    if args.smoke and report.distinct_edges < SMOKE_MIN_EDGES:
+        print(f"[fuzz] smoke FAILED: {report.distinct_edges} distinct "
+              f"edges < pinned floor {SMOKE_MIN_EDGES}", file=sys.stderr)
+        return 2
+    return 1 if report.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Coverage-map corpus: dedup, scheduling, and on-disk persistence.
+
+A genome earns a corpus slot only when its execution contributed at
+least one coverage edge or semantic feature the corpus has not seen --
+the standard AFL "is interesting" rule.  Entries are content-addressed
+(:meth:`~repro.fuzz.genome.Genome.content_hash`) and optionally
+persisted as ``<hash>.json`` under ``cache_dir()/fuzz/<run-name>/``, the
+same content-addressed cache root the experiment runner and fleet
+snapshots use.
+
+:meth:`Corpus.content_hash` -- a SHA-256 over the sorted entry hashes --
+is the determinism acceptance metric: two runs with the same seed must
+produce identical corpus hashes regardless of ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from pathlib import Path
+from typing import Iterable, List, Optional, Set
+
+from .genome import Genome
+
+__all__ = ["Corpus", "CorpusEntry", "default_corpus_root"]
+
+
+def default_corpus_root(run_name: str) -> Path:
+    """On-disk corpus directory under the shared result cache."""
+    from ..experiments.runner import cache_dir
+
+    return cache_dir() / "fuzz" / run_name
+
+
+class CorpusEntry:
+    """One kept genome plus the novelty it bought."""
+
+    __slots__ = ("genome", "hash", "new_coverage")
+
+    def __init__(self, genome: Genome, new_coverage: int):
+        self.genome = genome
+        self.hash = genome.content_hash()
+        self.new_coverage = new_coverage
+
+
+class Corpus:
+    """Insertion-ordered corpus with a global coverage map."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else None
+        self.entries: List[CorpusEntry] = []
+        self.seen: Set[str] = set()
+        self._hashes: Set[str] = set()
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def coverage_size(self) -> int:
+        """Distinct edges + features observed across all executions."""
+        return len(self.seen)
+
+    def consider(self, genome: Genome, coverage: Iterable[str]) -> bool:
+        """Fold one execution's coverage; keep the genome if novel.
+
+        Returns True when the genome entered the corpus.  Coverage is
+        always folded into the global map even when the genome is
+        dropped, so novelty is measured against everything ever seen.
+        """
+        coverage = set(coverage)
+        new = coverage - self.seen
+        self.seen |= coverage
+        if not new:
+            return False
+        digest = genome.content_hash()
+        if digest in self._hashes:
+            return False
+        self._hashes.add(digest)
+        self.entries.append(CorpusEntry(genome, len(new)))
+        if self.root is not None:
+            path = self.root / f"{digest}.json"
+            if not path.exists():
+                path.write_text(genome.to_json())
+        return True
+
+    def pick(self, rng: random.Random) -> Genome:
+        """Choose a mutation parent, weighted toward high-novelty finds."""
+        if not self.entries:
+            raise IndexError("cannot pick from an empty corpus")
+        weights = [1 + entry.new_coverage for entry in self.entries]
+        return rng.choices(self.entries, weights=weights, k=1)[0].genome
+
+    def content_hash(self) -> str:
+        """Order-independent digest of the kept genomes.
+
+        Identical corpora (as sets of genomes) hash identically no
+        matter the discovery order, which is what the smoke-mode
+        determinism gate compares across runs and ``--jobs`` settings.
+        """
+        payload = "\n".join(sorted(entry.hash for entry in self.entries))
+        return hashlib.sha256(payload.encode()).hexdigest()

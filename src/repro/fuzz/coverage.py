@@ -1,0 +1,191 @@
+"""Coverage collection: branch edges plus semantic device-state features.
+
+Two signals feed the corpus scheduler:
+
+* **Line edges** -- ``(previous line -> current line)`` pairs inside the
+  watched subsystems (``ftl/``, ``host/qos``, ``reliability/``,
+  ``core/datapath``), collected with :mod:`sys.monitoring` on Python
+  3.12+ and a :func:`sys.settrace` local tracer everywhere else.  Edges
+  are encoded as stable strings (``"ftl/gc.py:241->252"``) so they
+  compare identically across processes and runs.
+
+* **Semantic features** -- bucketed device-state observations after a
+  run (GC episode depth, ECC ladder level reached, spare-block
+  exhaustion, queue-full drops...).  These catch state-space novelty
+  that pure control-flow coverage misses: the same code path at GC
+  depth 8 is a different scenario than at depth 1.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Optional, Set
+
+__all__ = ["CoverageCollector", "semantic_features"]
+
+#: Path prefixes (relative to the repro package root) under watch.
+WATCHED_PREFIXES = ("ftl/", "host/qos", "reliability/", "core/datapath")
+
+_PACKAGE_ROOT = str(Path(__file__).resolve().parent.parent)
+
+#: sys.monitoring tool slot (3.12+); PROFILER_ID is free in our runs.
+_TOOL_NAME = "repro-fuzz-coverage"
+
+
+def _watch_key(filename: str) -> Optional[str]:
+    """Relative module key for a watched file, else None."""
+    if not filename.startswith(_PACKAGE_ROOT):
+        return None
+    relative = filename[len(_PACKAGE_ROOT):].lstrip("/\\").replace("\\", "/")
+    for prefix in WATCHED_PREFIXES:
+        if relative.startswith(prefix):
+            return relative
+    return None
+
+
+class CoverageCollector:
+    """Context manager accumulating line edges from watched modules.
+
+    Use one collector per execution; ``edges`` holds the stable string
+    encoding.  Collectors nest poorly (tracing is process-global), so
+    the executor owns exactly one per run.
+    """
+
+    def __init__(self) -> None:
+        self.edges: Set[str] = set()
+        self._keys: dict = {}   # code object -> watch key or None
+        self._last: dict = {}   # watch key -> last line (monitoring mode)
+        self._mode = "off"
+        self._tool_id: Optional[int] = None
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _key_for(self, code) -> Optional[str]:
+        key = self._keys.get(code)
+        if key is None and code not in self._keys:
+            key = self._keys[code] = _watch_key(code.co_filename)
+        return key
+
+    # -- sys.monitoring path (Python 3.12+) ----------------------------------
+
+    def _try_start_monitoring(self) -> bool:
+        monitoring = getattr(sys, "monitoring", None)
+        if monitoring is None:
+            return False
+        try:
+            tool_id = monitoring.PROFILER_ID
+            monitoring.use_tool_id(tool_id, _TOOL_NAME)
+            monitoring.register_callback(
+                tool_id, monitoring.events.LINE, self._on_line)
+            monitoring.set_events(tool_id, monitoring.events.LINE)
+        except Exception:
+            try:
+                monitoring.free_tool_id(monitoring.PROFILER_ID)
+            except Exception:
+                pass
+            return False
+        self._tool_id = tool_id
+        self._mode = "monitoring"
+        return True
+
+    def _on_line(self, code, line_number):
+        key = self._key_for(code)
+        if key is None:
+            disable = getattr(sys.monitoring, "DISABLE", None)
+            return disable
+        last = self._last.get(key)
+        if last is not None:
+            self.edges.add(f"{key}:{last}->{line_number}")
+        self._last[key] = line_number
+        return None
+
+    def _stop_monitoring(self) -> None:
+        monitoring = sys.monitoring
+        try:
+            monitoring.set_events(self._tool_id, 0)
+            monitoring.register_callback(
+                self._tool_id, monitoring.events.LINE, None)
+            monitoring.free_tool_id(self._tool_id)
+        except Exception:
+            pass
+
+    # -- sys.settrace fallback ----------------------------------------------
+
+    def _global_trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        key = self._key_for(frame.f_code)
+        if key is None:
+            return None
+        # Per-frame previous line lives in the closure: exact edges
+        # even through recursion and generator re-entry.
+        state = {"last": frame.f_lineno}
+        edges = self.edges
+
+        def local_trace(frame, event, arg):
+            if event == "line":
+                line = frame.f_lineno
+                edges.add(f"{key}:{state['last']}->{line}")
+                state["last"] = line
+            return local_trace
+
+        return local_trace
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "CoverageCollector":
+        if not self._try_start_monitoring():
+            sys.settrace(self._global_trace)
+            self._mode = "settrace"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._mode == "monitoring":
+            self._stop_monitoring()
+        elif self._mode == "settrace":
+            sys.settrace(None)
+        self._mode = "off"
+
+
+# -- semantic features --------------------------------------------------------
+
+def _bucket(value: float) -> str:
+    """Coarse log2 bucket so features saturate instead of exploding."""
+    value = int(value)
+    if value <= 0:
+        return "0"
+    if value >= 256:
+        return "256+"
+    bucket = 1
+    while bucket * 2 <= value:
+        bucket *= 2
+    return f"{bucket}-{bucket * 2 - 1}"
+
+
+def semantic_features(ssd, status: str) -> Set[str]:
+    """Device-state observations after one execution, as feature strings."""
+    features = {f"status:{status}"}
+    gc_stats = ssd.gc.stats
+    features.add(f"gc-episodes:{_bucket(gc_stats.episodes)}")
+    features.add(f"gc-pages-moved:{_bucket(gc_stats.pages_moved)}")
+    if ssd.blocks.bad_blocks:
+        features.add(f"bad-blocks:{_bucket(ssd.blocks.bad_blocks)}")
+    if ssd.reliability is not None:
+        stats = ssd.reliability.stats_dict()
+        features.add(f"ecc-ladder-retries:{_bucket(stats['ladder_retries'])}")
+        features.add(f"error-generation:{int(stats['max_generation'])}")
+        if stats["spares_remaining"] == 0 and stats["blocks_remapped"] > 0:
+            features.add("spares-exhausted")
+        if stats["fault_retries"]:
+            features.add(f"fault-retries:{_bucket(stats['fault_retries'])}")
+        if stats["uncorrectable_pages"]:
+            features.add("uncorrectable-pages")
+        if stats["raid_recoveries"]:
+            features.add("raid-recoveries")
+    frontend = ssd.frontend
+    if frontend is not None:
+        dropped = sum(stats.dropped for stats in frontend.stats)
+        if dropped:
+            features.add(f"qos-drops:{_bucket(dropped)}")
+    return features

@@ -1,0 +1,307 @@
+"""Replay a fuzz genome through the real simulated-SSD datapath.
+
+:func:`execute` is a *pure function* of the genome: the device seed is
+pinned, flash timing is deterministic, and the DES kernel is exact, so
+the same genome always produces the same coverage edges, features, and
+oracle verdicts -- in any process.  That purity is what makes the
+corpus evolution reproducible across ``--jobs`` settings and what makes
+a minimized repro a trustworthy regression test.
+
+Two modes, selected by ``genome.config.tenants``:
+
+* **Direct** (``tenants == 0``): a single scripted driver submits ops
+  straight to :meth:`~repro.ftl.ftl.Ftl.submit`.  The only mode where
+  the snapshot-divergence oracle can run (quiescent-point snapshots
+  reject attached frontends): with ``snapshot_at > 0`` the run splits
+  at a drain point, snapshots, restores into a second device, and
+  finishes the op tail on both -- their final snapshots must match.
+
+* **Frontend** (``tenants >= 1``): per-tenant scripted drivers feed a
+  real :class:`~repro.host.frontend.MultiQueueFrontend` via its
+  admission API, exercising arbiters, token-bucket QoS, and
+  drop-on-full admission.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from typing import Generator, List, Optional
+
+from ..core.checkpoint import restore_ssd, snapshot_ssd
+from ..core.config import ArchPreset, SSDConfig, sim_geometry
+from ..core.ssd import SimulatedSSD
+from ..errors import ReproError
+from ..ftl.request import READ, TRIM, WRITE, IoRequest
+from ..host.frontend import MultiQueueFrontend
+from ..host.qos import QosPolicy
+from ..host.tenant import TenantSpec
+from ..sim.kernel import SimulationError
+from . import canary, oracles
+from .coverage import CoverageCollector, semantic_features
+from .genome import FUZZ_GEOMETRY, FuzzOp, Genome, GenomeConfig
+
+__all__ = ["DEVICE_SEED", "HORIZON_US", "build_config", "execute"]
+
+#: Fixed device seed: execution depends on the genome alone, so ddmin
+#: shrinking never perturbs device randomness.
+DEVICE_SEED = 0xD55D
+
+#: Simulated-time budget per run phase.  Generous against any honest
+#: genome (<< 1e5 us of issued work) but finite, so polling livelocks
+#: advance simulated time until the horizon instead of hanging the
+#: fuzzer -- a phase that hits it reports status "stall".
+HORIZON_US = 2_000_000.0
+
+_OP_CODES = {"read": READ, "write": WRITE, "trim": TRIM}
+
+
+def build_config(config: GenomeConfig) -> SSDConfig:
+    """Translate genome knobs into a concrete tiny-device SSDConfig."""
+    config = config.normalized()
+    reliability = None
+    if config.base_rber > 0.0 or config.fault_rate > 0.0:
+        from ..reliability import ReliabilityConfig
+
+        reliability = ReliabilityConfig(
+            base_rber=max(config.base_rber, 1e-9),
+            channel_fault_rate=config.fault_rate,
+            spare_blocks_per_channel=1,
+        )
+    return SSDConfig(
+        arch=ArchPreset(config.arch),
+        geometry=sim_geometry(**FUZZ_GEOMETRY),
+        queue_depth=config.queue_depth,
+        write_policy=config.write_policy,
+        gc_policy=config.gc_policy,
+        prefill_fraction=config.prefill_fraction,
+        prefill_valid_ratio=config.prefill_valid_ratio,
+        reliability=reliability,
+        gc_reserve_blocks=1,
+        flush_workers=4,
+        seed=DEVICE_SEED,
+    )
+
+
+def _build_device(config: GenomeConfig) -> SimulatedSSD:
+    ssd = SimulatedSSD(build_config(config))
+    canary.maybe_install(ssd)
+    ssd.prefill()
+    ssd.ftl.start()
+    return ssd
+
+
+def _make_request(op: FuzzOp, lpn_space: int) -> IoRequest:
+    lpn = min(int(op.lpn_frac * lpn_space), max(lpn_space - 1, 0))
+    return IoRequest(op=_OP_CODES[op.kind], lpn=lpn, n_pages=op.n_pages,
+                     dram_hit=op.dram_hit and op.kind in ("read", "write"))
+
+
+class _PhaseResult:
+    __slots__ = ("status", "detail")
+
+    def __init__(self, status: str, detail: str = ""):
+        self.status = status
+        self.detail = detail
+
+
+def _run_direct(ssd: SimulatedSSD, ops: List[FuzzOp]) -> _PhaseResult:
+    """Submit *ops* straight to the FTL and drain; classify the ending."""
+    sim = ssd.sim
+    state = {"done": False}
+    procs: List = []
+
+    def driver() -> Generator:
+        for op in ops:
+            if op.gap_us > 0.0:
+                yield sim.timeout(op.gap_us)
+            if op.kind == "flush":
+                pending = [p for p in procs if not p.triggered]
+                if pending:
+                    yield sim.all_of(pending)
+                continue
+            procs.append(ssd.ftl.submit(_make_request(op, ssd.lpn_space)))
+        state["done"] = True
+
+    sim.process(driver(), name="fuzz_driver")
+    deadline = sim.now + HORIZON_US
+    try:
+        sim.run(until=deadline)
+    except Exception as exc:  # noqa: BLE001 - any model crash is a finding
+        return _PhaseResult(
+            "exception",
+            traceback.format_exception_only(type(exc), exc)[-1].strip())
+    finished = state["done"] and all(p.triggered for p in procs)
+    if finished and sim.peek() is None:
+        return _PhaseResult("ok")
+    if sim.peek() is None:
+        return _PhaseResult(
+            "deadlock",
+            f"event queue drained with work incomplete "
+            f"(driver done={state['done']}, "
+            f"outstanding={sum(1 for p in procs if not p.triggered)})")
+    return _PhaseResult(
+        "stall", f"horizon {HORIZON_US:.0f}us reached with events pending")
+
+
+def _run_frontend(ssd: SimulatedSSD, config: GenomeConfig,
+                  ops: List[FuzzOp]) -> _PhaseResult:
+    """Feed *ops* through a MultiQueueFrontend with scripted drivers."""
+    sim = ssd.sim
+    tenants = config.tenants
+    specs = []
+    for index in range(tenants):
+        rate = config.rate_iops if (index == 0 and config.rate_iops > 0) \
+            else None
+        specs.append(TenantSpec(
+            name=f"t{index}",
+            workload=None,   # scripted drivers never pull from it
+            driver="closed",
+            qos=QosPolicy(rate_iops=rate, weight=index + 1,
+                          priority=index % 2, sq_depth=8,
+                          drop_on_full=config.drop_on_full),
+        ))
+    frontend = MultiQueueFrontend(sim, ssd.ftl, specs,
+                                  arbiter=config.arbiter)
+    ssd.frontend = frontend
+
+    def scripted(qid: int, tenant_ops: List[FuzzOp]) -> Generator:
+        submitted: List = []
+        for op in tenant_ops:
+            if op.gap_us > 0.0:
+                yield sim.timeout(op.gap_us)
+            if op.kind == "flush":
+                pending = [sqe.done for sqe in submitted
+                           if sqe is not None and not sqe.done.triggered]
+                if pending:
+                    yield sim.all_of(pending)
+                continue
+            request = _make_request(op, ssd.lpn_space)
+            if config.drop_on_full:
+                submitted.append(frontend.try_submit(qid, request))
+            else:
+                sqe = yield from frontend.submit_blocking(qid, request)
+                submitted.append(sqe)
+
+    drivers = [
+        scripted(qid, [op for op in ops if op.tenant % tenants == qid])
+        for qid in range(tenants)
+    ]
+    frontend.start_scripted(drivers)
+    deadline = sim.now + HORIZON_US
+    try:
+        sim.run(until=deadline)
+    except Exception as exc:  # noqa: BLE001 - any model crash is a finding
+        return _PhaseResult(
+            "exception",
+            traceback.format_exception_only(type(exc), exc)[-1].strip())
+    idle = frontend._all_idle() and ssd.host.outstanding == 0
+    if idle and sim.peek() is None:
+        return _PhaseResult("ok")
+    if sim.peek() is None:
+        return _PhaseResult(
+            "deadlock",
+            f"event queue drained with frontend busy "
+            f"(inflight={frontend.inflight}, "
+            f"host outstanding={ssd.host.outstanding})")
+    return _PhaseResult(
+        "stall", f"horizon {HORIZON_US:.0f}us reached with events pending")
+
+
+def _canonical_snapshot(ssd) -> Optional[str]:
+    try:
+        return json.dumps(snapshot_ssd(ssd), sort_keys=True)
+    except (ReproError, SimulationError):
+        # Not quiescent -- the leaked-hold oracle owns that finding.
+        return None
+
+
+def _execute_direct(genome: Genome, outcome: dict) -> SimulatedSSD:
+    config = genome.config
+    ops = genome.ops
+    ssd = _build_device(config)
+    split = int(len(ops) * config.snapshot_at) if config.snapshot_at else 0
+    if not 0 < split < len(ops):
+        result = _run_direct(ssd, ops)
+        outcome["status"] = result.status
+        outcome["detail"] = result.detail
+        return ssd
+
+    head = _run_direct(ssd, ops[:split])
+    if head.status != "ok":
+        outcome["status"] = head.status
+        outcome["detail"] = head.detail
+        return ssd
+    restored: Optional[SimulatedSSD] = None
+    try:
+        state = json.loads(json.dumps(snapshot_ssd(ssd)))
+        restored = restore_ssd(state)
+        canary.maybe_install(restored)
+    except (ReproError, SimulationError) as exc:
+        # Leak at the drain point: report via the leaked-hold oracle
+        # path (status stays ok so oracles.check runs quiescence).
+        outcome.setdefault("notes", []).append(
+            f"snapshot at split refused: {exc}")
+    tail = _run_direct(ssd, ops[split:])
+    outcome["status"] = tail.status
+    outcome["detail"] = tail.detail
+    if restored is not None:
+        tail2 = _run_direct(restored, ops[split:])
+        primary = _canonical_snapshot(ssd)
+        secondary = _canonical_snapshot(restored)
+        if tail.status == "ok" and tail2.status != "ok":
+            outcome["violations"].append({
+                "oracle": "snapshot_divergence",
+                "detail": f"restored device ended {tail2.status} "
+                          f"({tail2.detail}) while primary ended ok",
+            })
+        elif (primary is not None and secondary is not None
+                and primary != secondary):
+            outcome["violations"].append({
+                "oracle": "snapshot_divergence",
+                "detail": "continuing after snapshot/restore diverged "
+                          "from the uninterrupted run",
+            })
+        outcome["features"].update(
+            semantic_features(restored, tail2.status))
+    return ssd
+
+
+def execute(genome: Genome, collect_coverage: bool = True) -> dict:
+    """Run one genome; return a picklable outcome record.
+
+    Keys: ``status`` (ok/deadlock/stall/exception), ``detail``,
+    ``violations`` (list of ``{"oracle", "detail"}``), ``edges`` and
+    ``features`` (sorted lists of stable strings), ``metrics``.
+    Oracles run in here -- workers ship verdicts, not live devices.
+    """
+    genome = genome.normalized()
+    outcome: dict = {"status": "ok", "detail": "", "violations": [],
+                     "features": set(), "metrics": {}}
+    collector = CoverageCollector()
+    if collect_coverage:
+        collector.__enter__()
+    try:
+        if genome.config.tenants == 0:
+            ssd = _execute_direct(genome, outcome)
+        else:
+            ssd = _build_device(genome.config)
+            result = _run_frontend(ssd, genome.config, genome.ops)
+            outcome["status"] = result.status
+            outcome["detail"] = result.detail
+    finally:
+        if collect_coverage:
+            collector.__exit__(None, None, None)
+
+    outcome["features"].update(semantic_features(ssd, outcome["status"]))
+    outcome["violations"].extend(
+        oracles.check(ssd, outcome["status"], outcome["detail"]))
+    outcome["metrics"] = {
+        "sim_now_us": ssd.sim.now,
+        "requests_completed": ssd.ftl.requests_completed,
+        "gc_episodes": ssd.gc.stats.episodes,
+        "gc_pages_moved": ssd.gc.stats.pages_moved,
+    }
+    outcome["edges"] = sorted(collector.edges)
+    outcome["features"] = sorted(outcome["features"])
+    return outcome

@@ -1,0 +1,214 @@
+"""The typed fuzz genome: device knobs plus an NVMe op sequence.
+
+A :class:`Genome` is the unit the fuzzer mutates, executes, stores in
+the corpus, and emits as a repro: a :class:`GenomeConfig` (architecture,
+tenant count, GC/write policy, QoS and fault-injection knobs) plus a
+list of :class:`FuzzOp` (read/write/trim/flush with arrival gaps and
+tenant assignment).  Genomes round-trip losslessly through JSON and are
+content-addressed by a SHA-256 over their canonical encoding, which is
+what makes the corpus (and the smoke-mode determinism gate)
+byte-comparable across runs and ``--jobs`` settings.
+
+Logical addresses are stored as *fractions* of the LPN space
+(``lpn_frac`` in ``[0, 1)``) so a genome stays valid under any prefill
+configuration -- the executor scales them onto the device's actual
+mapped range.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = [
+    "ARCHES",
+    "FUZZ_GEOMETRY",
+    "GC_POLICIES",
+    "MAX_GAP_US",
+    "MAX_OPS",
+    "MAX_PAGES_PER_OP",
+    "FuzzOp",
+    "Genome",
+    "GenomeConfig",
+]
+
+#: Architectures the fuzzer samples (paper Table 2 presets).
+ARCHES = ("baseline", "dssd", "dssd_f")
+GC_POLICIES = ("pagc", "preemptive", "tinytail")
+ARBITERS = ("rr", "wrr", "prio")
+WRITE_POLICIES = ("writeback", "writethrough")
+OP_KINDS = ("read", "write", "trim", "flush")
+
+#: Hard caps keeping one execution fast and minimization meaningful.
+MAX_OPS = 96
+MAX_PAGES_PER_OP = 8
+MAX_GAP_US = 500.0
+MAX_TENANTS = 3
+
+#: Deliberately tiny flash organization: a few hundred pages means a
+#: short op sequence can exhaust free blocks and force GC, wear, and
+#: spare-block paths that a paper-sized device would never reach in a
+#: sub-second execution.
+FUZZ_GEOMETRY = {"channels": 2, "ways": 1, "planes": 2,
+                 "blocks_per_plane": 10, "pages_per_block": 16,
+                 "page_size": 4096}
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return max(low, min(high, value))
+
+
+@dataclass
+class FuzzOp:
+    """One NVMe-level operation in a genome."""
+
+    kind: str = "read"
+    #: Target LPN as a fraction of the mapped LPN space.
+    lpn_frac: float = 0.0
+    n_pages: int = 1
+    #: Think time before issuing this op, microseconds.
+    gap_us: float = 0.0
+    #: Tenant stream index (modulo the config's tenant count).
+    tenant: int = 0
+    #: Request the DRAM-cached fast path for reads.
+    dram_hit: bool = False
+
+    def normalized(self) -> "FuzzOp":
+        """Copy with every field clamped onto its legal range."""
+        kind = self.kind if self.kind in OP_KINDS else "read"
+        return FuzzOp(
+            kind=kind,
+            lpn_frac=_clamp(float(self.lpn_frac), 0.0, 0.999999),
+            n_pages=int(_clamp(int(self.n_pages), 1, MAX_PAGES_PER_OP)),
+            gap_us=_clamp(float(self.gap_us), 0.0, MAX_GAP_US),
+            tenant=int(_clamp(int(self.tenant), 0, MAX_TENANTS - 1)),
+            dram_hit=bool(self.dram_hit),
+        )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "FuzzOp":
+        return cls(**state).normalized()
+
+
+@dataclass
+class GenomeConfig:
+    """Device-level knobs one genome runs under.
+
+    ``tenants == 0`` selects *direct mode*: ops are submitted straight
+    to the FTL (the only mode where the snapshot-divergence oracle can
+    run, since quiescent-point snapshots reject attached frontends).
+    ``tenants >= 1`` routes ops through a real
+    :class:`~repro.host.frontend.MultiQueueFrontend` with scripted
+    drivers, exercising arbiters and QoS admission.
+    """
+
+    arch: str = "dssd"
+    tenants: int = 0
+    arbiter: str = "rr"
+    queue_depth: int = 16
+    write_policy: str = "writeback"
+    gc_policy: str = "pagc"
+    prefill_fraction: float = 0.85
+    prefill_valid_ratio: float = 0.45
+    #: 0.0 disables the reliability engine entirely.
+    base_rber: float = 0.0
+    #: Transient channel-fault injection probability.
+    fault_rate: float = 0.0
+    #: Frontend admission policy on a full submission queue.
+    drop_on_full: bool = False
+    #: Tenant-0 dispatch rate limit in IOPS; 0 = unthrottled.
+    rate_iops: float = 0.0
+    #: Direct mode only: fraction of the op list after which the run
+    #: drains, snapshots, restores, and continues on both devices to
+    #: check for divergence.  0 disables the oracle.
+    snapshot_at: float = 0.0
+
+    def normalized(self) -> "GenomeConfig":
+        """Copy with every field clamped onto its legal range."""
+        return GenomeConfig(
+            arch=self.arch if self.arch in ARCHES else "dssd",
+            tenants=int(_clamp(int(self.tenants), 0, MAX_TENANTS)),
+            arbiter=self.arbiter if self.arbiter in ARBITERS else "rr",
+            queue_depth=int(_clamp(int(self.queue_depth), 2, 32)),
+            write_policy=(self.write_policy
+                          if self.write_policy in WRITE_POLICIES
+                          else "writeback"),
+            gc_policy=(self.gc_policy if self.gc_policy in GC_POLICIES
+                       else "pagc"),
+            prefill_fraction=_clamp(float(self.prefill_fraction), 0.5, 0.95),
+            prefill_valid_ratio=_clamp(float(self.prefill_valid_ratio),
+                                       0.2, 0.8),
+            base_rber=_clamp(float(self.base_rber), 0.0, 1e-3),
+            fault_rate=_clamp(float(self.fault_rate), 0.0, 0.2),
+            drop_on_full=bool(self.drop_on_full),
+            rate_iops=_clamp(float(self.rate_iops), 0.0, 200_000.0),
+            snapshot_at=_clamp(float(self.snapshot_at), 0.0, 0.9),
+        )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "GenomeConfig":
+        return cls(**state).normalized()
+
+
+@dataclass
+class Genome:
+    """A complete fuzz input: config + op sequence."""
+
+    config: GenomeConfig = field(default_factory=GenomeConfig)
+    ops: List[FuzzOp] = field(default_factory=list)
+    #: Where this genome came from ("seed:...", "mutate:...", "ddmin").
+    origin: str = ""
+
+    def normalized(self) -> "Genome":
+        """Copy with config/ops clamped and the op count bounded."""
+        ops = [op.normalized() for op in self.ops[:MAX_OPS]]
+        if not ops:
+            ops = [FuzzOp()]
+        return Genome(config=self.config.normalized(), ops=ops,
+                      origin=self.origin)
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "ops": [op.to_dict() for op in self.ops],
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "Genome":
+        return cls(
+            config=GenomeConfig.from_dict(state["config"]),
+            ops=[FuzzOp.from_dict(op) for op in state["ops"]],
+            origin=str(state.get("origin", "")),
+        ).normalized()
+
+    def to_json(self) -> str:
+        """Canonical (sorted-key) JSON encoding."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Genome":
+        return cls.from_dict(json.loads(text))
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical encoding *excluding* origin.
+
+        Two genomes with identical behaviour (same config, same ops)
+        hash identically regardless of how they were derived, so the
+        corpus hash only reflects discovered inputs.
+        """
+        payload = json.dumps(
+            {"config": self.config.to_dict(),
+             "ops": [op.to_dict() for op in self.ops]},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,80 @@
+"""Delta-debugging (ddmin) shrinking of oracle-tripping genomes.
+
+Classic Zeller ddmin over the op list: try removing chunks at
+progressively finer granularity, keeping any removal after which the
+*same oracle* still trips.  The device seed is pinned inside the
+executor, so the predicate is deterministic and the minimized genome is
+a faithful, self-contained repro -- small enough to read, fast enough
+to commit as a regression test under ``tests/fuzz_corpus/``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .genome import FuzzOp, Genome
+
+__all__ = ["ddmin", "minimize_for_oracle"]
+
+
+def ddmin(genome: Genome, predicate: Callable[[Genome], bool],
+          max_tests: int = 200) -> Genome:
+    """Shrink ``genome.ops`` while ``predicate`` stays true.
+
+    ``predicate`` must be true for the input genome; the result is
+    1-minimal with respect to chunk removal (up to the test budget).
+    """
+    ops = list(genome.ops)
+    budget = {"left": max_tests}
+
+    def holds(candidate_ops: List[FuzzOp]) -> bool:
+        if budget["left"] <= 0 or not candidate_ops:
+            return False
+        budget["left"] -= 1
+        return predicate(Genome(config=genome.config, ops=candidate_ops,
+                                origin="ddmin"))
+
+    chunks = 2
+    while len(ops) >= 2 and budget["left"] > 0:
+        size = max(1, len(ops) // chunks)
+        reduced = False
+        start = 0
+        while start < len(ops):
+            candidate = ops[:start] + ops[start + size:]
+            if candidate and holds(candidate):
+                ops = candidate
+                chunks = max(chunks - 1, 2)
+                reduced = True
+                # Restart the scan on the smaller list.
+                start = 0
+                size = max(1, len(ops) // chunks)
+                continue
+            start += size
+        if not reduced:
+            if chunks >= len(ops):
+                break
+            chunks = min(len(ops), chunks * 2)
+    return Genome(config=genome.config, ops=ops, origin="ddmin")
+
+
+def minimize_for_oracle(genome: Genome, oracle: str,
+                        max_tests: int = 200,
+                        execute: Optional[Callable] = None) -> Genome:
+    """Shrink *genome* so the named oracle still trips.
+
+    *execute* defaults to :func:`repro.fuzz.executor.execute`
+    (injectable for tests).  Coverage collection is disabled during
+    shrinking -- only the verdict matters, and tracing would slow the
+    O(n log n) probe sequence down for nothing.
+    """
+    if execute is None:
+        from .executor import execute as execute_genome
+        execute = execute_genome
+
+    def trips(candidate: Genome) -> bool:
+        outcome = execute(candidate, collect_coverage=False)
+        return any(v["oracle"] == oracle for v in outcome["violations"])
+
+    if not trips(genome):
+        return genome
+    return ddmin(genome, trips, max_tests=max_tests)

@@ -1,0 +1,192 @@
+"""Seeded structural mutators over fuzz genomes.
+
+Every mutator is a pure function of ``(rng, genome[, donor])`` and the
+engine derives one :class:`random.Random` stream per run from the CLI
+seed, so the full mutation schedule is reproducible.  Mutators always
+return a *new* normalized genome; inputs are never modified.
+
+The operator mix follows the classic AFL recipe adapted to a typed
+genome: structural edits over the op list (duplicate, delete, swap,
+splice with a donor from the corpus), value-level nudges on single ops,
+a havoc burst stacking several of those, and config-level flips that
+move the genome between architectures, GC policies, tenant counts, and
+fault-injection settings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .genome import (ARBITERS, ARCHES, GC_POLICIES, MAX_GAP_US, MAX_OPS,
+                     MAX_PAGES_PER_OP, MAX_TENANTS, OP_KINDS, WRITE_POLICIES,
+                     FuzzOp, Genome)
+
+__all__ = ["mutate", "MUTATORS"]
+
+
+def _copy_ops(genome: Genome) -> List[FuzzOp]:
+    return [FuzzOp(**op.to_dict()) for op in genome.ops]
+
+
+def _random_op(rng: random.Random) -> FuzzOp:
+    kind = rng.choice(OP_KINDS)
+    return FuzzOp(
+        kind=kind,
+        lpn_frac=rng.random(),
+        n_pages=rng.randint(1, MAX_PAGES_PER_OP),
+        gap_us=rng.choice([0.0, 0.0, rng.uniform(0.0, MAX_GAP_US)]),
+        tenant=rng.randrange(MAX_TENANTS),
+        dram_hit=rng.random() < 0.1,
+    )
+
+
+def _mutate_duplicate(rng: random.Random, genome: Genome,
+                      donor: Optional[Genome]) -> Genome:
+    """Repeat a random slice in place (hammers allocator/GC reentry)."""
+    ops = _copy_ops(genome)
+    start = rng.randrange(len(ops))
+    width = rng.randint(1, min(8, len(ops) - start))
+    at = rng.randint(0, len(ops))
+    ops[at:at] = [FuzzOp(**op.to_dict()) for op in ops[start:start + width]]
+    return Genome(config=genome.config, ops=ops, origin="mutate:duplicate")
+
+
+def _mutate_delete(rng: random.Random, genome: Genome,
+                   donor: Optional[Genome]) -> Genome:
+    """Drop a random slice."""
+    ops = _copy_ops(genome)
+    start = rng.randrange(len(ops))
+    width = rng.randint(1, min(8, len(ops) - start))
+    del ops[start:start + width]
+    return Genome(config=genome.config, ops=ops, origin="mutate:delete")
+
+
+def _mutate_swap(rng: random.Random, genome: Genome,
+                 donor: Optional[Genome]) -> Genome:
+    """Reorder: exchange two positions."""
+    ops = _copy_ops(genome)
+    if len(ops) >= 2:
+        a, b = rng.sample(range(len(ops)), 2)
+        ops[a], ops[b] = ops[b], ops[a]
+    return Genome(config=genome.config, ops=ops, origin="mutate:swap")
+
+
+def _mutate_splice(rng: random.Random, genome: Genome,
+                   donor: Optional[Genome]) -> Genome:
+    """Graft a random slice of a corpus donor into this genome."""
+    if donor is None or not donor.ops:
+        return _mutate_duplicate(rng, genome, donor)
+    ops = _copy_ops(genome)
+    start = rng.randrange(len(donor.ops))
+    width = rng.randint(1, min(12, len(donor.ops) - start))
+    graft = [FuzzOp(**op.to_dict())
+             for op in donor.ops[start:start + width]]
+    at = rng.randint(0, len(ops))
+    ops[at:at] = graft
+    return Genome(config=genome.config, ops=ops, origin="mutate:splice")
+
+
+def _mutate_insert(rng: random.Random, genome: Genome,
+                   donor: Optional[Genome]) -> Genome:
+    """Insert a freshly random op."""
+    ops = _copy_ops(genome)
+    ops.insert(rng.randint(0, len(ops)), _random_op(rng))
+    return Genome(config=genome.config, ops=ops, origin="mutate:insert")
+
+
+def _nudge_op(rng: random.Random, op: FuzzOp) -> FuzzOp:
+    state = op.to_dict()
+    field = rng.choice(["kind", "lpn_frac", "n_pages", "gap_us", "tenant",
+                        "dram_hit"])
+    if field == "kind":
+        state["kind"] = rng.choice(OP_KINDS)
+    elif field == "lpn_frac":
+        state["lpn_frac"] = (state["lpn_frac"]
+                             + rng.uniform(-0.25, 0.25)) % 1.0
+    elif field == "n_pages":
+        state["n_pages"] = rng.randint(1, MAX_PAGES_PER_OP)
+    elif field == "gap_us":
+        state["gap_us"] = rng.choice([0.0, rng.uniform(0.0, MAX_GAP_US)])
+    elif field == "tenant":
+        state["tenant"] = rng.randrange(MAX_TENANTS)
+    else:
+        state["dram_hit"] = not state["dram_hit"]
+    return FuzzOp(**state)
+
+
+def _mutate_nudge(rng: random.Random, genome: Genome,
+                  donor: Optional[Genome]) -> Genome:
+    """Parameter nudge: perturb one field of one op."""
+    ops = _copy_ops(genome)
+    index = rng.randrange(len(ops))
+    ops[index] = _nudge_op(rng, ops[index])
+    return Genome(config=genome.config, ops=ops, origin="mutate:nudge")
+
+
+def _mutate_havoc(rng: random.Random, genome: Genome,
+                  donor: Optional[Genome]) -> Genome:
+    """Stacked burst of 2-6 random edits (the AFL havoc stage)."""
+    result = genome
+    for _ in range(rng.randint(2, 6)):
+        operator = rng.choice([_mutate_duplicate, _mutate_delete,
+                               _mutate_swap, _mutate_insert, _mutate_nudge])
+        result = operator(rng, result.normalized(), donor)
+    return Genome(config=result.config, ops=result.ops,
+                  origin="mutate:havoc")
+
+
+def _mutate_config(rng: random.Random, genome: Genome,
+                   donor: Optional[Genome]) -> Genome:
+    """Flip one device knob: arch, GC policy, tenancy, faults..."""
+    state = genome.config.to_dict()
+    field = rng.choice(["arch", "tenants", "arbiter", "queue_depth",
+                        "write_policy", "gc_policy", "base_rber",
+                        "fault_rate", "drop_on_full", "rate_iops",
+                        "snapshot_at", "prefill_fraction"])
+    if field == "arch":
+        state["arch"] = rng.choice(ARCHES)
+    elif field == "tenants":
+        state["tenants"] = rng.randint(0, MAX_TENANTS)
+    elif field == "arbiter":
+        state["arbiter"] = rng.choice(ARBITERS)
+    elif field == "queue_depth":
+        state["queue_depth"] = rng.choice([2, 4, 8, 16, 32])
+    elif field == "write_policy":
+        state["write_policy"] = rng.choice(WRITE_POLICIES)
+    elif field == "gc_policy":
+        state["gc_policy"] = rng.choice(GC_POLICIES)
+    elif field == "base_rber":
+        state["base_rber"] = rng.choice([0.0, 1e-5, 1e-4, 1e-3])
+    elif field == "fault_rate":
+        state["fault_rate"] = rng.choice([0.0, 0.01, 0.05, 0.2])
+    elif field == "drop_on_full":
+        state["drop_on_full"] = not state["drop_on_full"]
+    elif field == "rate_iops":
+        state["rate_iops"] = rng.choice([0.0, 5_000.0, 25_000.0, 100_000.0])
+    elif field == "snapshot_at":
+        state["snapshot_at"] = rng.choice([0.0, 0.3, 0.5, 0.7])
+    else:
+        state["prefill_fraction"] = rng.choice([0.6, 0.75, 0.85, 0.95])
+    config = genome.config.from_dict(state)
+    return Genome(config=config, ops=_copy_ops(genome),
+                  origin="mutate:config")
+
+
+MUTATORS = (
+    _mutate_duplicate,
+    _mutate_delete,
+    _mutate_swap,
+    _mutate_splice,
+    _mutate_insert,
+    _mutate_nudge,
+    _mutate_havoc,
+    _mutate_config,
+)
+
+
+def mutate(rng: random.Random, genome: Genome,
+           donor: Optional[Genome] = None) -> Genome:
+    """Apply one randomly chosen mutator; returns a normalized genome."""
+    operator = rng.choice(MUTATORS)
+    return operator(rng, genome, donor).normalized()

@@ -1,0 +1,126 @@
+"""Invariant oracles: what makes a fuzzed execution a *finding*.
+
+Each oracle inspects the device after an execution and returns zero or
+more violations (``{"oracle": name, "detail": human-readable}``).  The
+set deliberately reuses the production guards rather than reimplement
+them: the leaked-hold oracle is
+:func:`~repro.core.checkpoint.quiescence_report`, the mapping oracle is
+:meth:`~repro.ftl.ftl.Ftl.audit` -- a fuzzer finding is therefore the
+same condition an operator would hit at a real checkpoint.
+
+Oracle catalogue:
+
+* ``progress`` -- the DES queue drained with work incomplete (a true
+  deadlock) or the simulated-time horizon was hit (livelock/stall).
+* ``exception`` -- any model code raised out of the event loop.
+* ``leaked_holds`` -- the run completed cleanly yet quiescence
+  enumeration still names outstanding holds (the PR-3 bug class).
+* ``mapping`` -- the LPN<->PPN mirror broke or mapped-LPN and
+  valid-page counts disagree at quiescence.
+* ``qos_accounting`` -- frontend admission/dispatch/completion counters
+  do not reconcile, or host submitted != completed.
+* ``latency_cliff`` -- one request's latency is both absurdly large in
+  absolute terms and orders of magnitude beyond the run's mean.
+* ``snapshot_divergence`` -- raised by the executor when continuing
+  after a mid-sequence snapshot/restore does not match the
+  uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.checkpoint import quiescence_report
+
+__all__ = ["check", "LATENCY_CLIFF_ABS_US", "LATENCY_CLIFF_RATIO"]
+
+#: A latency sample is a cliff only when it is huge in absolute terms
+#: *and* dwarfs the run's own mean -- both guards keep legitimately
+#: slow configurations (deep GC, ECC ladders) from false-positives.
+LATENCY_CLIFF_ABS_US = 250_000.0
+LATENCY_CLIFF_RATIO = 100.0
+
+
+def check(ssd, status: str, detail: str = "") -> List[dict]:
+    """Run every post-execution oracle; returns the violation list."""
+    violations: List[dict] = []
+
+    if status == "deadlock":
+        violations.append({"oracle": "progress",
+                           "detail": f"deadlock: {detail}"})
+    elif status == "stall":
+        violations.append({"oracle": "progress",
+                           "detail": f"livelock/stall: {detail}"})
+    elif status == "exception":
+        violations.append({"oracle": "exception", "detail": detail})
+
+    if status == "ok":
+        leaks = quiescence_report(ssd)
+        if leaks:
+            violations.append({
+                "oracle": "leaked_holds",
+                "detail": "outstanding at quiescence: " + "; ".join(leaks),
+            })
+        if ssd.ftl.dirty_pages:
+            violations.append({
+                "oracle": "leaked_holds",
+                "detail": f"write buffer not drained: "
+                          f"{ssd.ftl.dirty_pages} dirty page(s) with no "
+                          f"flush scheduled",
+            })
+        else:
+            problems = ssd.ftl.audit()
+            if problems:
+                violations.append({
+                    "oracle": "mapping",
+                    "detail": "; ".join(problems),
+                })
+        violations.extend(_check_accounting(ssd))
+
+    violations.extend(_check_latency(ssd))
+    return violations
+
+
+def _check_accounting(ssd) -> List[dict]:
+    problems: List[str] = []
+    host = ssd.host
+    if host.submitted != host.completed:
+        problems.append(
+            f"host submitted ({host.submitted}) != "
+            f"completed ({host.completed})")
+    frontend = ssd.frontend
+    if frontend is not None:
+        if frontend.inflight:
+            problems.append(
+                f"frontend inflight {frontend.inflight} after drain")
+        for stats in frontend.stats:
+            if stats.arrivals != stats.admitted + stats.dropped:
+                problems.append(
+                    f"tenant {stats.name}: arrivals {stats.arrivals} != "
+                    f"admitted {stats.admitted} + dropped {stats.dropped}")
+            if stats.dispatched != stats.completed:
+                problems.append(
+                    f"tenant {stats.name}: dispatched {stats.dispatched} "
+                    f"!= completed {stats.completed}")
+            if stats.admitted < stats.dispatched:
+                problems.append(
+                    f"tenant {stats.name}: dispatched {stats.dispatched} "
+                    f"exceeds admitted {stats.admitted}")
+    if not problems:
+        return []
+    return [{"oracle": "qos_accounting", "detail": "; ".join(problems)}]
+
+
+def _check_latency(ssd) -> List[dict]:
+    stats = ssd.ftl.io_latency
+    if stats.count < 8 or stats.mean <= 0:
+        return []
+    if (stats.max > LATENCY_CLIFF_ABS_US
+            and stats.max > LATENCY_CLIFF_RATIO * stats.mean):
+        return [{
+            "oracle": "latency_cliff",
+            "detail": f"max latency {stats.max:.0f}us is "
+                      f"{stats.max / stats.mean:.0f}x the mean "
+                      f"({stats.mean:.1f}us) over {stats.count} requests",
+        }]
+    return []

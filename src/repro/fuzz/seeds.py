@@ -1,0 +1,144 @@
+"""Seed corpus: starting genomes derived from the real workload models.
+
+Rather than bootstrapping from random noise, the fuzzer starts where
+the experiments already operate: every
+:class:`~repro.workloads.synthetic.SyntheticWorkload` pattern is
+sampled into an op sequence (so the corpus begins on the exact request
+shapes the figure sweeps use), a fig17-style victim+aggressor tenant
+mix covers the QoS/arbitration surface, and hand-built genomes open the
+trim, fault-injection, write-through, and snapshot-split paths.  Seeds
+are fully deterministic (fixed seeds into the workload RNGs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ftl.request import READ, TRIM
+from ..workloads.synthetic import PATTERNS, SyntheticWorkload
+from .genome import FuzzOp, Genome, GenomeConfig
+
+__all__ = ["make_seeds"]
+
+#: LPN space the seed generators sample against.  Seeds store fractions,
+#: so this only sets their quantization, not the executed addresses.
+_SEED_LPN_SPACE = 256
+_SEED_PAGE_SIZE = 4096
+_OPS_PER_SEED = 24
+
+
+def _workload_ops(pattern: str, seed: int,
+                  read_fraction: float = 0.5) -> List[FuzzOp]:
+    workload = SyntheticWorkload(pattern, io_size=2 * _SEED_PAGE_SIZE,
+                                 read_fraction=read_fraction,
+                                 limit=_OPS_PER_SEED)
+    workload.bind(_SEED_LPN_SPACE, _SEED_PAGE_SIZE, seed)
+    ops = []
+    while True:
+        request = workload.next_request()
+        if request is None:
+            break
+        ops.append(FuzzOp(
+            kind="read" if request.op == READ else "write",
+            lpn_frac=request.lpn / _SEED_LPN_SPACE,
+            n_pages=request.n_pages,
+            dram_hit=request.dram_hit,
+        ))
+    return ops
+
+
+def make_seeds(arch: Optional[str] = None) -> List[Genome]:
+    """The deterministic seed genomes, optionally pinned to one arch."""
+    seeds: List[Genome] = []
+
+    # Every synthetic pattern on the two main architectures.
+    for pattern in PATTERNS:
+        for seed_arch in ("baseline", "dssd"):
+            seeds.append(Genome(
+                config=GenomeConfig(arch=seed_arch),
+                ops=_workload_ops(pattern, seed=7),
+                origin=f"seed:{pattern}:{seed_arch}",
+            ))
+
+    # fig17-shaped tenant mix: a rate-limited victim sharing the device
+    # with a saturating aggressor, write-heavy, through the frontend.
+    mix_ops = []
+    aggressor = _workload_ops("rand_write", seed=11, read_fraction=0.0)
+    victim = _workload_ops("rand_read", seed=13, read_fraction=1.0)
+    for index in range(_OPS_PER_SEED):
+        victim_op = victim[index % len(victim)]
+        victim_op.tenant = 0
+        victim_op.gap_us = 50.0
+        aggressor_op = aggressor[index % len(aggressor)]
+        aggressor_op.tenant = 1
+        mix_ops.extend([victim_op, aggressor_op])
+    seeds.append(Genome(
+        config=GenomeConfig(arch="dssd", tenants=2, rate_iops=25_000.0,
+                            arbiter="wrr"),
+        ops=mix_ops,
+        origin="seed:tenant-mix",
+    ))
+
+    # Trim-heavy: interleave invalidation with rewrites (GC pressure +
+    # mapping churn; the canary's trigger surface).
+    trim_ops = []
+    for index in range(_OPS_PER_SEED):
+        frac = (index * 37 % _SEED_LPN_SPACE) / _SEED_LPN_SPACE
+        trim_ops.append(FuzzOp(kind="write", lpn_frac=frac, n_pages=4))
+        trim_ops.append(FuzzOp(kind="trim", lpn_frac=frac, n_pages=6))
+    seeds.append(Genome(config=GenomeConfig(arch="dssd"), ops=trim_ops,
+                        origin="seed:trim-heavy"))
+
+    # Fault injection + high RBER: ECC ladder, retries, bad blocks.
+    seeds.append(Genome(
+        config=GenomeConfig(arch="dssd", base_rber=1e-4, fault_rate=0.05),
+        ops=_workload_ops("mixed", seed=17),
+        origin="seed:faults",
+    ))
+
+    # Write-through policy with a flush barrier in the middle.
+    wt_ops = _workload_ops("rand_write", seed=19, read_fraction=0.0)
+    wt_ops.insert(len(wt_ops) // 2, FuzzOp(kind="flush"))
+    seeds.append(Genome(
+        config=GenomeConfig(arch="baseline", write_policy="writethrough"),
+        ops=wt_ops,
+        origin="seed:writethrough",
+    ))
+
+    # Snapshot split: drain mid-sequence, snapshot/restore, continue.
+    seeds.append(Genome(
+        config=GenomeConfig(arch="dssd", snapshot_at=0.5),
+        ops=_workload_ops("mixed", seed=23),
+        origin="seed:snapshot-split",
+    ))
+
+    # Drop-on-full admission with three tenants on priority arbitration.
+    drop_ops = _workload_ops("rand_write", seed=29, read_fraction=0.2)
+    for index, op in enumerate(drop_ops):
+        op.tenant = index % 3
+    seeds.append(Genome(
+        config=GenomeConfig(arch="dssd_f", tenants=3, arbiter="prio",
+                            drop_on_full=True),
+        ops=drop_ops,
+        origin="seed:drop-on-full",
+    ))
+
+    seeds = [seed.normalized() for seed in seeds]
+    if arch is not None:
+        pinned = []
+        for seed in seeds:
+            state = seed.config.to_dict()
+            state["arch"] = arch
+            pinned.append(Genome(config=GenomeConfig.from_dict(state),
+                                 ops=seed.ops,
+                                 origin=seed.origin).normalized())
+        # Pinning can collapse two seeds onto the same genome; dedup
+        # keeps the corpus hash stable.
+        seen = set()
+        seeds = []
+        for seed in pinned:
+            digest = seed.content_hash()
+            if digest not in seen:
+                seen.add(digest)
+                seeds.append(seed)
+    return seeds

@@ -112,6 +112,24 @@ class MultiQueueFrontend:
                                    f"{spec.name}_trace")
         self.sim.process(self._dispatch_loop(), name="mq_dispatch")
 
+    def start_scripted(self, drivers: Sequence[Generator]) -> None:
+        """Launch externally supplied driver generators plus the dispatcher.
+
+        The fuzzer's scripted replay path: instead of the stock
+        closed/poisson/trace drivers, each generator in *drivers* feeds
+        its queue pair directly via :meth:`try_submit` /
+        :meth:`submit_blocking` on its own schedule.  The dispatcher,
+        arbiters, QoS buckets, and per-tenant stats behave exactly as
+        in :meth:`start`.  Idempotent like :meth:`start`; the two entry
+        points are mutually exclusive per frontend instance.
+        """
+        if self._started:
+            return
+        self._started = True
+        for index, generator in enumerate(drivers):
+            self._spawn_driver(generator, f"scripted_driver{index}")
+        self.sim.process(self._dispatch_loop(), name="mq_dispatch")
+
     def _spawn_driver(self, generator: Generator, name: str) -> None:
         self._drivers_running += 1
         self.sim.process(self._wrap_driver(generator), name=name)

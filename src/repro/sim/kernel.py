@@ -427,6 +427,7 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._legacy = not direct_resume
+        self._resources: List[Any] = []
 
     @property
     def direct_resume(self) -> bool:
@@ -501,6 +502,64 @@ class Simulator:
             self._running = False
         return self._now
 
+    # -- introspection -------------------------------------------------------
+
+    def register_resource(self, resource: Any) -> None:
+        """Track *resource* for quiescence diagnostics.
+
+        Registered objects must expose ``outstanding_summary() ->
+        Optional[str]``; the shared-resource primitives in
+        :mod:`repro.sim.resources` register themselves at construction.
+        """
+        self._resources.append(resource)
+
+    def outstanding_holds(self) -> List[str]:
+        """One line per registered resource that is not idle.
+
+        The quiescence guards and the fuzzer's leaked-hold oracle use
+        this to name exactly which semaphores/links/queues still hold
+        state when the event queue has drained.
+        """
+        lines = []
+        for resource in self._resources:
+            summary = resource.outstanding_summary()
+            if summary:
+                lines.append(summary)
+        return lines
+
+    def pending_summary(self, limit: int = 8) -> List[str]:
+        """Describe up to *limit* scheduled callbacks (soonest first).
+
+        Names the owning process where one can be identified, so a
+        failed quiescence check reports *who* still has work queued
+        rather than just a count.
+        """
+        entries = sorted(self._queue)[:limit]
+        lines = [f"t={time:.3f}us {self._describe_callback(fn)}"
+                 for time, _seq, fn, _args in entries]
+        extra = len(self._queue) - len(entries)
+        if extra > 0:
+            lines.append(f"... and {extra} more")
+        return lines
+
+    @staticmethod
+    def _describe_callback(fn: Any) -> str:
+        if isinstance(fn, Process):
+            return f"process {fn.name!r} completion"
+        if isinstance(fn, Event):
+            waiter = fn._waiter
+            kind = type(fn).__name__.lower()
+            if isinstance(waiter, Process):
+                return f"{kind} resuming process {waiter.name!r}"
+            return kind
+        owner = getattr(fn, "__self__", None)
+        if isinstance(owner, Process):
+            return f"process {owner.name!r} resume"
+        if owner is not None:
+            name = getattr(owner, "name", "") or type(owner).__name__
+            return f"{type(owner).__name__} {name!r}.{fn.__name__}"
+        return getattr(fn, "__qualname__", repr(fn))
+
     # -- checkpointing -------------------------------------------------------
 
     def snapshot_state(self) -> dict:
@@ -516,11 +575,16 @@ class Simulator:
         as they would in an uninterrupted run.
         """
         if self._queue:
-            raise SimulationError(
+            message = (
                 f"cannot snapshot: {len(self._queue)} callback(s) still "
                 "scheduled (snapshot only at a quiescent point -- run the "
-                "simulation to completion first)"
+                "simulation to completion first); pending: "
+                + "; ".join(self.pending_summary())
             )
+            holds = self.outstanding_holds()
+            if holds:
+                message += "; outstanding holds: " + "; ".join(holds)
+            raise SimulationError(message)
         if self._running:
             raise SimulationError("cannot snapshot while the loop is running")
         return {"now": self._now, "seq": self._seq}

@@ -27,6 +27,14 @@ from .stats import TimeBins
 __all__ = ["Resource", "Link", "Store", "Transfer", "TokenPool"]
 
 
+def _register(sim: Simulator, resource: Any) -> None:
+    # Register for quiescence diagnostics; guarded so duck-typed test
+    # doubles without a registry still work.
+    register = getattr(sim, "register_resource", None)
+    if register is not None:
+        register(resource)
+
+
 class Resource:
     """A counting semaphore with priority-ordered FIFO queueing.
 
@@ -44,6 +52,8 @@ class Resource:
         self._waiters: List[Tuple[int, int, Event]] = []
         self._cancelled: set = set()
         self._seq = 0
+        self._owners: dict = {}
+        _register(sim, self)
 
     @property
     def in_use(self) -> int:
@@ -55,9 +65,18 @@ class Resource:
         """Number of requests waiting for a slot."""
         return len(self._waiters) - len(self._cancelled)
 
-    def request(self, priority: int = 0) -> Event:
-        """Ask for a slot; the returned event fires when granted."""
+    def request(self, priority: int = 0, owner: str = "") -> Event:
+        """Ask for a slot; the returned event fires when granted.
+
+        *owner* optionally labels the hold for quiescence diagnostics
+        (see :meth:`outstanding_summary`).  Owner-labelled holds should
+        be returned via :meth:`cancel` (the exception-safe pattern) so
+        the label is cleared precisely; a plain :meth:`release` drops
+        the oldest label, which is best-effort only.
+        """
         grant = Event(self.sim)
+        if owner:
+            self._owners[grant] = owner
         if self._in_use < self.capacity:
             self._in_use += 1
             grant.trigger(self)
@@ -70,6 +89,11 @@ class Resource:
         """Return a slot, waking the highest-priority waiter if any."""
         if self._in_use <= 0:
             raise RuntimeError(f"release on idle resource {self.name!r}")
+        if self._owners:
+            self._owners.pop(next(iter(self._owners)))
+        self._release_slot()
+
+    def _release_slot(self) -> None:
         while self._waiters:
             _prio, _seq, grant = heapq.heappop(self._waiters)
             if grant in self._cancelled:
@@ -88,14 +112,33 @@ class Resource:
         queued it is lazily discarded so a later :meth:`release` does
         not wake a waiter that no longer exists.
         """
+        self._owners.pop(grant, None)
         if grant._triggered:
-            self.release()
+            if self._in_use <= 0:
+                raise RuntimeError(
+                    f"release on idle resource {self.name!r}")
+            self._release_slot()
         elif grant not in self._cancelled:
             self._cancelled.add(grant)
 
     def acquire(self, priority: int = 0):
         """Generator helper: ``yield from resource.acquire()``."""
         yield self.request(priority)
+
+    def outstanding_summary(self) -> Optional[str]:
+        """One-line description of held slots/waiters, or None if idle."""
+        queued = self.queue_length
+        if not self._in_use and queued <= 0:
+            return None
+        message = (f"Resource {self.name or '<anonymous>'!r}: "
+                   f"{self._in_use}/{self.capacity} slot(s) held")
+        owners = sorted(str(owner) for grant, owner in self._owners.items()
+                        if grant._triggered)
+        if owners:
+            message += f" (owners: {', '.join(owners)})"
+        if queued > 0:
+            message += f", {queued} request(s) waiting"
+        return message
 
 
 class TokenPool:
@@ -114,6 +157,8 @@ class TokenPool:
         self.name = name
         self._available = capacity
         self._waiters: Deque[Tuple[int, Event]] = deque()
+        self._owners: dict = {}
+        _register(sim, self)
 
     @property
     def available(self) -> int:
@@ -125,8 +170,14 @@ class TokenPool:
         """Number of pending acquire requests."""
         return len(self._waiters)
 
-    def acquire(self, n: int = 1) -> Event:
-        """Request *n* tokens; the event fires when they are granted."""
+    def acquire(self, n: int = 1, owner: str = "") -> Event:
+        """Request *n* tokens; the event fires when they are granted.
+
+        *owner* optionally labels the hold for quiescence diagnostics;
+        owner-labelled holds should be returned via :meth:`cancel` so
+        the label is cleared precisely (a plain :meth:`release` drops
+        the oldest label, best-effort only).
+        """
         if n < 1:
             raise ValueError(f"must acquire >= 1 token, got {n}")
         if n > self.capacity:
@@ -134,6 +185,8 @@ class TokenPool:
                 f"request of {n} tokens exceeds capacity {self.capacity}"
             )
         grant = Event(self.sim)
+        if owner:
+            self._owners[grant] = owner
         if not self._waiters and self._available >= n:
             self._available -= n
             grant.trigger(n)
@@ -145,6 +198,11 @@ class TokenPool:
         """Return *n* tokens and grant queued requests in FIFO order."""
         if n < 1:
             raise ValueError(f"must release >= 1 token, got {n}")
+        if self._owners:
+            self._owners.pop(next(iter(self._owners)))
+        self._release_tokens(n)
+
+    def _release_tokens(self, n: int) -> None:
         self._available += n
         if self._available > self.capacity:
             raise RuntimeError(
@@ -163,8 +221,9 @@ class TokenPool:
         returned to the pool; if it is still queued it is removed so the
         tokens are never handed out.
         """
+        self._owners.pop(grant, None)
         if grant._triggered:
-            self.release(grant.value)
+            self._release_tokens(grant.value)
             return
         for index, (_count, waiting) in enumerate(self._waiters):
             if waiting is grant:
@@ -175,6 +234,22 @@ class TokenPool:
             count, waiting = self._waiters.popleft()
             self._available -= count
             waiting.trigger(count)
+
+    def outstanding_summary(self) -> Optional[str]:
+        """One-line description of held tokens/waiters, or None if idle."""
+        held = self.capacity - self._available
+        waiting = len(self._waiters)
+        if held <= 0 and waiting == 0:
+            return None
+        message = (f"TokenPool {self.name or '<anonymous>'!r}: "
+                   f"{held}/{self.capacity} token(s) held")
+        owners = sorted(str(owner) for grant, owner in self._owners.items()
+                        if grant._triggered)
+        if owners:
+            message += f" (owners: {', '.join(owners)})"
+        if waiting:
+            message += f", {waiting} acquire(s) waiting"
+        return message
 
 
 class Transfer:
@@ -217,6 +292,7 @@ class Link:
         self._busy = False
         self._queue: List[Tuple[int, int, Transfer]] = []
         self._seq = 0
+        _register(sim, self)
         self.busy_bins = TimeBins(bin_width)
         self.byte_bins: dict = {}
         self.busy_time: dict = {}
@@ -232,6 +308,16 @@ class Link:
     def is_busy(self) -> bool:
         """Whether a transfer is currently occupying the link."""
         return self._busy
+
+    def outstanding_summary(self) -> Optional[str]:
+        """One-line description of in-flight work, or None if idle."""
+        if not self._busy and not self._queue:
+            return None
+        message = f"Link {self.name or '<anonymous>'!r}: "
+        message += "transfer in flight" if self._busy else "idle"
+        if self._queue:
+            message += f", {len(self._queue)} queued"
+        return message
 
     def occupancy(self, nbytes: int) -> float:
         """Service time in microseconds for an *nbytes* transfer."""
@@ -400,6 +486,7 @@ class Store:
         self.name = name
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
+        _register(sim, self)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -423,3 +510,12 @@ class Store:
     def peek_all(self) -> list:
         """Snapshot of queued items (oldest first) without removal."""
         return list(self._items)
+
+    def outstanding_summary(self) -> Optional[str]:
+        """Undelivered items, or None.  Parked getters are normal idle
+        state (consumer processes waiting for work), so only queued
+        items count as outstanding."""
+        if not self._items:
+            return None
+        return (f"Store {self.name or '<anonymous>'!r}: "
+                f"{len(self._items)} item(s) queued")

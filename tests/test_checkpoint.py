@@ -266,3 +266,28 @@ def test_fastforward_wear_zero_is_noop():
     ssd = _build("baseline")
     assert fastforward_wear(ssd, 0.0) == 0
     assert ssd.backend._block_state_at(0).erase_count == 0
+
+
+def test_pending_event_refusal_names_the_culprit():
+    """The quiescence error enumerates what is still pending."""
+    ssd = _build("baseline", wear_leveling=True)
+    ssd.run(_workload(), duration_us=50_000.0, max_requests=20)
+    with pytest.raises(SimulationError) as excinfo:
+        ssd.snapshot()
+    message = str(excinfo.value)
+    assert "pending:" in message
+    assert "wear_level" in message
+
+
+def test_quiescence_report_lists_inflight_work():
+    from repro.core.checkpoint import quiescence_report
+
+    ssd = _build("baseline")
+    ssd.run(_workload(), max_requests=30)
+    assert quiescence_report(ssd) == []
+    ssd.run(_workload(), duration_us=40.0)
+    if ssd.sim._queue:
+        report = quiescence_report(ssd)
+        assert report, "mid-request device reported quiescent"
+        assert any("pending" in line or "in flight" in line
+                   or "t=" in line for line in report)

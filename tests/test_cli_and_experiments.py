@@ -93,3 +93,84 @@ def test_normalized_helper():
     assert normalized([2.0, 4.0, 6.0]) == [1.0, 2.0, 3.0]
     assert normalized([2.0, 4.0], base=4.0) == [0.5, 1.0]
     assert normalized([0.0, 1.0]) == [0.0, 0.0]
+
+
+# ---------------------------------------------------------------- exit codes
+
+
+def test_cli_fuzz_clean_run_exits_zero(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_DSSD_FUZZ_CANARY", raising=False)
+    rc = main(["fuzz", "--execs", "4", "--seed", "7", "--no-minimize",
+               "--repro-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    payload = __import__("json").loads(out)
+    assert payload["executions"] == 4
+    assert payload["violations"] == []
+
+
+def test_cli_fuzz_violation_exits_nonzero(tmp_path, monkeypatch, capsys):
+    # The hidden canary bug leaks a queue slot on big TRIMs; the
+    # trim-heavy seed trips it within the first dozen executions.
+    monkeypatch.setenv("REPRO_DSSD_FUZZ_CANARY", "1")
+    rc = main(["fuzz", "--execs", "12", "--seed", "7", "--no-minimize",
+               "--repro-dir", str(tmp_path)])
+    assert rc == 1
+    payload = __import__("json").loads(capsys.readouterr().out)
+    assert payload["violations"]
+
+
+def test_cli_fuzz_repro_replay_exit_codes(monkeypatch, capsys):
+    import pathlib
+
+    case = sorted((pathlib.Path(__file__).parent / "fuzz_corpus")
+                  .glob("repro_leaked_holds_*.json"))[0]
+    monkeypatch.delenv("REPRO_DSSD_FUZZ_CANARY", raising=False)
+    assert main(["fuzz", "repro", str(case)]) == 0
+    monkeypatch.setenv("REPRO_DSSD_FUZZ_CANARY", "1")
+    assert main(["fuzz", "repro", str(case)]) == 1
+    capsys.readouterr()
+
+
+def test_cli_fuzz_repro_usage_error():
+    assert main(["fuzz", "repro"]) == 2
+
+
+def _fake_bench_report():
+    return {"benchmarks": {"drain": {"events": 10, "wall_s": 0.1,
+                                     "events_per_sec": 100.0}}}
+
+
+def test_cli_bench_check_regression_exits_nonzero(tmp_path, monkeypatch,
+                                                  capsys):
+    import json
+
+    import repro.bench
+
+    monkeypatch.setattr(repro.bench, "run_benchmarks",
+                        lambda **kwargs: _fake_bench_report())
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(
+        {"benchmarks": {"drain": {"events_per_sec": 1000.0}}}))
+    out = tmp_path / "out.json"
+    rc = main(["bench", "--quick", "--check", str(baseline),
+               "--output", str(out)])
+    assert rc == 1
+    capsys.readouterr()
+
+
+def test_cli_bench_check_within_tolerance_exits_zero(tmp_path, monkeypatch,
+                                                     capsys):
+    import json
+
+    import repro.bench
+
+    monkeypatch.setattr(repro.bench, "run_benchmarks",
+                        lambda **kwargs: _fake_bench_report())
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(
+        {"benchmarks": {"drain": {"events_per_sec": 100.0}}}))
+    rc = main(["bench", "--quick", "--check", str(baseline),
+               "--output", str(tmp_path / "out.json")])
+    assert rc == 0
+    capsys.readouterr()

@@ -1,0 +1,55 @@
+"""Regression loader: replay every committed fuzz repro.
+
+Each ``tests/fuzz_corpus/*.json`` file is a ddmin-minimized genome that
+once tripped an invariant oracle.  The fixed code must replay every one
+of them clean; a reappearing violation is a regression of the original
+bug.  The canary case additionally proves the repro is *live*: with the
+hidden canary flag set, the same genome must still trip its oracle.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.canary import CANARY_ENV
+from repro.fuzz.cli import replay_case
+from repro.fuzz.genome import Genome
+
+CORPUS_DIR = Path(__file__).parent / "fuzz_corpus"
+CASES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _case_id(path: Path) -> str:
+    return path.stem
+
+
+@pytest.mark.parametrize("path", CASES, ids=_case_id)
+def test_committed_repro_replays_clean(path, monkeypatch):
+    monkeypatch.delenv(CANARY_ENV, raising=False)
+    case = json.loads(path.read_text())
+    assert case["schema"] == 1
+    assert case["oracle"]
+    # The committed genome must parse and round-trip.
+    genome = Genome.from_dict(case["genome"])
+    assert genome.ops
+    outcome = replay_case(path)
+    violations = [v["oracle"] for v in outcome["violations"]]
+    assert case["oracle"] not in violations, (
+        f"regression: committed repro {path.name} trips "
+        f"{case['oracle']} again: {outcome['violations']}"
+    )
+
+
+@pytest.mark.parametrize(
+    "path",
+    [p for p in CASES if "leaked_holds" in p.name],
+    ids=_case_id,
+)
+def test_canary_repro_still_trips_with_flag(path, monkeypatch):
+    """The committed canary case is live: flag on => oracle fires."""
+    monkeypatch.setenv(CANARY_ENV, "1")
+    case = json.loads(path.read_text())
+    outcome = replay_case(path)
+    violations = [v["oracle"] for v in outcome["violations"]]
+    assert case["oracle"] in violations

@@ -223,3 +223,63 @@ def test_store_len_and_peek():
     store.put(2)
     assert len(store) == 2
     assert store.peek_all() == [1, 2]
+
+
+# ------------------------------------------------- outstanding-hold reports
+
+
+def test_resource_outstanding_summary_names_owners():
+    sim = Simulator()
+    res = Resource(sim, capacity=2, name="ecc_lanes")
+    assert res.outstanding_summary() is None
+    first = res.request(owner="decoder-a")
+    res.request(owner="decoder-b")
+    res.request(owner="queued")
+    sim.run()
+    summary = res.outstanding_summary()
+    assert "ecc_lanes" in summary
+    assert "2/2" in summary
+    assert "decoder-a" in summary and "decoder-b" in summary
+    assert "queued" not in summary.split("owners:")[1].split(")")[0]
+    assert "1 request(s) waiting" in summary
+    res.cancel(first)
+    sim.run()
+    assert "decoder-a" not in res.outstanding_summary()
+
+
+def test_token_pool_outstanding_summary_names_owners():
+    from repro.sim import TokenPool
+
+    sim = Simulator()
+    pool = TokenPool(sim, capacity=4, name="sq_slots")
+    assert pool.outstanding_summary() is None
+    grant = pool.acquire(3, owner="tenant0")
+    sim.run()
+    summary = pool.outstanding_summary()
+    assert "sq_slots" in summary and "3/4" in summary
+    assert "tenant0" in summary
+    pool.cancel(grant)
+    assert pool.outstanding_summary() is None
+
+
+def test_simulator_collects_outstanding_holds():
+    sim = Simulator()
+    res = Resource(sim, capacity=1, name="bus")
+    res.request(owner="dma")
+    sim.run()
+    holds = sim.outstanding_holds()
+    assert len(holds) == 1
+    assert "bus" in holds[0] and "dma" in holds[0]
+    res.release()
+    assert sim.outstanding_holds() == []
+
+
+def test_release_without_grant_drops_oldest_owner_label():
+    sim = Simulator()
+    res = Resource(sim, capacity=2, name="r")
+    res.request(owner="old")
+    res.request(owner="new")
+    sim.run()
+    res.release()
+    summary = res.outstanding_summary()
+    assert "new" in summary and "old" not in summary
