@@ -40,12 +40,15 @@ from .datapath import DecoupledDatapath
 from .transport import DedicatedBusTransport
 
 __all__ = [
+    "DURABLE_SCHEMA",
     "SNAPSHOT_SCHEMA",
     "config_from_state",
     "config_to_state",
+    "durable_state",
     "fastforward_wear",
     "load_snapshot",
     "quiescence_report",
+    "recover_ssd",
     "restore_ssd",
     "save_snapshot",
     "snapshot_ssd",
@@ -53,6 +56,9 @@ __all__ = [
 
 #: Bump on any incompatible change to the snapshot layout.
 SNAPSHOT_SCHEMA = 1
+
+#: Bump on any incompatible change to the durable-projection layout.
+DURABLE_SCHEMA = 1
 
 
 # -- config round-trip --------------------------------------------------------
@@ -305,6 +311,153 @@ def restore_ssd(state: dict):
     ssd.ftl.start()
     ssd.sim.run()
     ssd.sim.restore_state(state["sim"])
+    return ssd
+
+
+# -- power-loss projection ----------------------------------------------------
+
+def durable_state(ssd) -> dict:
+    """Project the flash-durable subset of *ssd*'s state -- legal anytime.
+
+    Unlike :func:`snapshot_ssd` this never requires quiescence: it
+    models yanking power mid-flight.  Only what a real controller could
+    reconstruct from the flash array at mount survives:
+
+    * the media itself (per-block programmed pages + erase counts);
+    * the L2P mapping and page-validity sets -- the FTL binds an LPN
+      only *after* its program completes, so the mapping table is
+      exactly the OOB-journal reconstruction a mount scan yields;
+    * block states and write pointers, with volatile ownership erased:
+      ``pending`` allocations are lost (those pages were never
+      committed, so they are simply wasted below the write pointer) and
+      a COLLECTING block falls back to FULL (the GC episode died with
+      DRAM);
+    * physical-media reliability state: per-page error records, wear
+      limits, and the bad-block SRT/RBT tables.
+
+    Deliberately dropped, because it lives in DRAM: the dirty write
+    buffer and flush queue (unflushed writes are lost -- correct
+    power-cut semantics), host/frontend queues and meters, GC episode
+    state, latency recorders, the transient-fault injector, RNG
+    streams, and the DES clock itself.
+    """
+    from ..ftl.blocks import COLLECTING, FULL
+
+    blocks = []
+    for index in sorted(ssd.blocks.blocks):
+        info = ssd.blocks.blocks[index]
+        block_state = FULL if info.state == COLLECTING else info.state
+        blocks.append([index, block_state, info.write_ptr,
+                       sorted(info.valid)])
+    state = {
+        "schema": DURABLE_SCHEMA,
+        "config": config_to_state(ssd.config),
+        "lpn_space": ssd.lpn_space,
+        "prefilled": ssd._prefilled,
+        "backend": ssd.backend.state_dict(),
+        "mapping": ssd.ftl.mapping.state_dict(),
+        "blocks": blocks,
+        "reliability": None,
+    }
+    if ssd.reliability is not None:
+        from ..sim import int_key_pairs
+
+        state["reliability"] = {
+            "pages": int_key_pairs(ssd.reliability._pages, list),
+            "wear": ssd.reliability.rber_model.wear.state_dict(),
+            "badblocks": ssd.reliability.badblocks.state_dict(),
+        }
+    return state
+
+
+def recover_ssd(state: dict):
+    """Mount a fresh device from a :func:`durable_state` projection.
+
+    Models the power-on recovery path: rebuild the device from config,
+    install the media and mapping-journal state, and *re-derive* every
+    allocator pointer the way a mount scan would -- free pools sorted
+    by block index per plane (DRAM pool rotation did not survive),
+    at most one ACTIVE block per plane resuming at its write pointer.
+    The returned device is quiescent, its clock at zero, its flushers
+    parked; it must pass :meth:`~repro.ftl.ftl.Ftl.audit` and accept
+    new traffic.
+    """
+    from collections import deque
+
+    from ..ftl.blocks import ACTIVE, BAD, FREE, SPARE
+    from .ssd import SimulatedSSD
+
+    schema = state.get("schema")
+    if schema != DURABLE_SCHEMA:
+        raise SnapshotError(
+            f"durable-state schema {schema!r} != supported "
+            f"{DURABLE_SCHEMA}")
+    config = config_from_state(state["config"])
+    ssd = SimulatedSSD(config)
+    ssd.backend.load_state(state["backend"])
+
+    manager = ssd.blocks
+    geometry = config.geometry
+    free_pools = [[] for _ in range(geometry.planes_total)]
+    # A plane may surface up to two partially-written blocks at mount:
+    # the host-stream and the GC-stream active block.  Which was which
+    # is not durable (and does not matter); assign them in block-index
+    # scan order so recovery stays deterministic.
+    active = [None] * geometry.planes_total
+    active_gc = [None] * geometry.planes_total
+    free_count = bad_count = spare_count = 0
+    for index, block_state, write_ptr, valid in state["blocks"]:
+        info = manager.blocks[int(index)]
+        info.state = block_state
+        info.write_ptr = int(write_ptr)
+        info.valid = set(int(page) for page in valid)
+        info.pending = 0
+        plane = geometry.plane_index(info.addr)
+        if block_state == FREE:
+            free_pools[plane].append(int(index))
+            free_count += 1
+        elif block_state == ACTIVE:
+            if active[plane] is None:
+                active[plane] = int(index)
+            elif active_gc[plane] is None:
+                active_gc[plane] = int(index)
+            else:
+                raise SnapshotError(
+                    f"durable state names three ACTIVE blocks in plane "
+                    f"{plane}")
+        elif block_state == BAD:
+            bad_count += 1
+        elif block_state == SPARE:
+            spare_count += 1
+    manager._free = [deque(pool) for pool in free_pools]
+    manager._active = active
+    manager._active_gc = active_gc
+    manager._cursor = 0
+    manager.free_blocks = free_count
+    manager.bad_blocks = bad_count
+    manager.spare_blocks = spare_count
+
+    ssd.ftl.mapping.load_state(state["mapping"])
+    if state["reliability"] is not None:
+        if ssd.reliability is None:
+            raise SnapshotError(
+                "durable state carries reliability records but the "
+                "config builds no reliability engine")
+        from ..sim import pairs_to_int_dict
+
+        rel = state["reliability"]
+        ssd.reliability._pages = pairs_to_int_dict(
+            rel["pages"],
+            lambda rec: (int(rec[0]), int(rec[1]), float(rec[2])))
+        ssd.reliability.rber_model.wear.load_state(rel["wear"])
+        ssd.reliability.badblocks.load_state(rel["badblocks"])
+
+    ssd._prefilled = bool(state["prefilled"])
+    ssd.lpn_space = int(state["lpn_space"])
+    # Park the flusher pool on the (empty) flush queue; the bootstrap
+    # events drain, leaving a quiescent device at time zero.
+    ssd.ftl.start()
+    ssd.sim.run()
     return ssd
 
 

@@ -7,6 +7,7 @@ __all__ = [
     "UncorrectableError",
     "ConfigError",
     "MappingError",
+    "SamplesUnavailableError",
     "SnapshotError",
 ]
 
@@ -33,6 +34,16 @@ class ConfigError(ReproError, ValueError):
 
 class MappingError(ReproError):
     """FTL or superblock mapping inconsistency."""
+
+
+class SamplesUnavailableError(ReproError, ValueError):
+    """An exact percentile was requested from a sample-free recorder.
+
+    ``LatencyStats(keep_samples=False)`` streams every aggregate in
+    O(1) but cannot answer :meth:`~repro.sim.stats.LatencyStats.pct`.
+    Subclasses :class:`ValueError` so callers that treated the old
+    generic error as a value problem keep working.
+    """
 
 
 class SnapshotError(ReproError):

@@ -42,7 +42,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from .. import __version__
-from ..errors import ConfigError
+from ..errors import ConfigError, SamplesUnavailableError
 from ..sim import LatencyStats
 from .placement import DEFAULT_VNODES, ConsistentHashRing
 
@@ -325,6 +325,14 @@ def run_fleet(spec: FleetSpec, point=None) -> Dict[str, object]:
         requests += int(shard["requests_completed"])
         bandwidth += float(shard["io_bandwidth_MBps"])
         gc_pages += int(shard["gc_pages_moved"])
+    if not fleet_latency.keep_samples:
+        # Merging one sample-free shard recorder silently degrades the
+        # fleet recorder; fail here with the shard-level cause instead
+        # of a bare SamplesUnavailableError at the p99 line below.
+        raise SamplesUnavailableError(
+            "a fleet shard shipped a keep_samples=False io_latency "
+            "recorder; exact fleet percentiles need every shard's raw "
+            "samples")
     active = sum(1 for shard in shards if shard["tenant_names"])
     return {
         "placement": placement,

@@ -85,6 +85,7 @@ class BlockManager:
             deque() for _ in range(geometry.planes_total)
         ]
         self._active: List[Optional[int]] = [None] * geometry.planes_total
+        self._active_gc: List[Optional[int]] = [None] * geometry.planes_total
         self._cursor = 0
         self.free_blocks = geometry.blocks_total
         self.bad_blocks = 0
@@ -158,7 +159,12 @@ class BlockManager:
 
     def _try_allocate_in_plane(self, plane: int,
                                for_gc: bool) -> Optional[PhysAddr]:
-        active_index = self._active[plane]
+        # Host and GC write into *separate* active blocks: a block GC
+        # opened out of its reserve must never serve host allocations,
+        # or host traffic steals the relocation headroom and every GC
+        # worker ends up waiting for an erase that can no longer happen.
+        slots = self._active_gc if for_gc else self._active
+        active_index = slots[plane]
         if active_index is None:
             free_pool = self._free[plane]
             if not free_pool:
@@ -170,14 +176,14 @@ class BlockManager:
             info = self.blocks[active_index]
             info.state = ACTIVE
             info.write_ptr = 0
-            self._active[plane] = active_index
+            slots[plane] = active_index
         info = self.blocks[active_index]
         addr = info.addr._replace(page=info.write_ptr)
         info.write_ptr += 1
         info.pending += 1
         if info.write_ptr >= self.geometry.pages_per_block:
             info.state = FULL
-            self._active[plane] = None
+            slots[plane] = None
         return addr
 
     # -- validity ---------------------------------------------------------
@@ -224,6 +230,10 @@ class BlockManager:
         for block_index in range(base, base + self.geometry.blocks_per_plane):
             info = self.blocks[block_index]
             if info.state != FULL or info.pending > 0:
+                continue
+            if info.valid_count >= self.geometry.pages_per_block:
+                # Fully-valid victim: copying it frees nothing, so
+                # collecting it can only burn erase cycles and reserve.
                 continue
             if info.valid_count > limit:
                 continue
@@ -290,9 +300,12 @@ class BlockManager:
             if block_index in plane_pool:
                 plane_pool.remove(block_index)
                 self.free_blocks -= 1
-        elif info.state == ACTIVE and self._active[plane] == block_index:
+        elif info.state == ACTIVE:
             # Never hand out pages from a retired block.
-            self._active[plane] = None
+            if self._active[plane] == block_index:
+                self._active[plane] = None
+            if self._active_gc[plane] == block_index:
+                self._active_gc[plane] = None
         info.state = BAD
         info.valid.clear()
         self.bad_blocks += 1
@@ -321,6 +334,7 @@ class BlockManager:
             "blocks": blocks,
             "free": [list(pool) for pool in self._free],
             "active": list(self._active),
+            "active_gc": list(self._active_gc),
             "cursor": self._cursor,
             "free_blocks": self.free_blocks,
             "bad_blocks": self.bad_blocks,
@@ -340,6 +354,10 @@ class BlockManager:
         self._free = [deque(int(i) for i in pool) for pool in state["free"]]
         self._active = [None if index is None else int(index)
                         for index in state["active"]]
+        self._active_gc = [None if index is None else int(index)
+                           for index in state.get(
+                               "active_gc",
+                               [None] * self.geometry.planes_total)]
         self._cursor = int(state["cursor"])
         self.free_blocks = int(state["free_blocks"])
         self.bad_blocks = int(state["bad_blocks"])

@@ -52,9 +52,19 @@ class Ftl:
         self.flush_workers = flush_workers
         self.breakdown_samples = breakdown_samples
 
-        self._dirty: Dict[int, bool] = {}
+        #: LPN -> admission stamp of the newest write staged for it.
+        self._dirty: Dict[int, int] = {}
         self._flush_queue = Store(sim, name="flush_queue")
         self._flushers_started = False
+        #: Monotone per-request admission counter.  Assigned the moment
+        #: host.submit() returns, i.e. in queue-grant order, which is a
+        #: pure function of the op sequence (FIFO slots, constant
+        #: command latency) -- NOT of datapath timing.  Comparing
+        #: stamps therefore gives every write/trim race on an LPN an
+        #: architecture-invariant winner.
+        self._stamp = 0
+        #: LPN -> admission stamp of the latest *processed* trim.
+        self._trim_stamp: Dict[int, int] = {}
 
         self.io_latency = LatencyStats("io")
         self.read_latency = LatencyStats("read")
@@ -87,12 +97,14 @@ class Ftl:
         # waiting for (or settling into) the queue slot rolls the
         # admission back before the exception reaches this frame.
         yield from self.host.submit()
+        self._stamp += 1
+        stamp = self._stamp
         breakdown = Breakdown()
         try:
             if request.op == WRITE:
-                yield from self._handle_write(request, breakdown)
+                yield from self._handle_write(request, breakdown, stamp)
             elif request.op == TRIM:
-                yield from self._handle_trim(request, breakdown)
+                yield from self._handle_trim(request, breakdown, stamp)
             else:
                 yield from self._handle_read(request, breakdown)
             request.complete_time = self.sim.now
@@ -101,8 +113,8 @@ class Ftl:
         self._record(request, breakdown)
         return request
 
-    def _handle_write(self, request: IoRequest,
-                      breakdown: Breakdown) -> Generator:
+    def _handle_write(self, request: IoRequest, breakdown: Breakdown,
+                      stamp: int = 0) -> Generator:
         priority = request.priority
         t0 = self.sim.now
         yield from self.host.transfer(request.bytes(self.geometry.page_size),
@@ -117,12 +129,12 @@ class Ftl:
         if self.write_policy == "writeback":
             for offset in range(request.n_pages):
                 yield from self._buffer_write(request.lpn + offset, breakdown,
-                                              priority)
+                                              priority, stamp)
         else:
             procs = [
                 self.sim.process(
                     self._write_through_page(request.lpn + offset, breakdown,
-                                             priority)
+                                             priority, stamp)
                 )
                 for offset in range(request.n_pages)
             ]
@@ -149,16 +161,26 @@ class Ftl:
                                       priority=priority)
         breakdown.add("host", self.sim.now - t0)
 
-    def _handle_trim(self, request: IoRequest,
-                     breakdown: Breakdown) -> Generator:
+    def _handle_trim(self, request: IoRequest, breakdown: Breakdown,
+                     stamp: int = 0) -> Generator:
         """Deallocate an LPN range: mapping-table work only, no data.
 
         Trimmed pages become GC-reclaimable immediately, so a trim-aware
         host reduces write amplification for free.
+
+        Ordering: this loop runs at admission + command latency, before
+        any later-admitted write can stage or bind (those pay at least
+        a host transfer on top of the same command latency), so the
+        unconditional dirty-pop and unbind can only ever discard data
+        from *earlier*-admitted writes -- exactly TRIM semantics.  The
+        recorded ``_trim_stamp`` lets in-flight flushes and
+        write-through programs of those earlier writes drop their bind
+        instead of resurrecting the trimmed LPN.
         """
         for offset in range(request.n_pages):
             lpn = request.lpn + offset
             self._dirty.pop(lpn, None)
+            self._trim_stamp[lpn] = stamp
             ppn = self.mapping.unbind(lpn)
             if ppn is not None:
                 self.blocks.invalidate(self.geometry.addr_of(ppn))
@@ -171,7 +193,7 @@ class Ftl:
     # -- per-page paths --------------------------------------------------------
 
     def _buffer_write(self, lpn: int, breakdown: Breakdown,
-                      priority: int = 0) -> Generator:
+                      priority: int = 0, stamp: int = 0) -> Generator:
         """Write-back: stage one page in the DRAM buffer."""
         coalesced = lpn in self._dirty
         grant = None
@@ -184,10 +206,23 @@ class Ftl:
                 yield grant
             yield from self.datapath.io_dram_rw(self.geometry.page_size,
                                                 breakdown, priority=priority)
+            if self._trim_stamp.get(lpn, 0) > stamp:
+                # A later-admitted TRIM already processed while this
+                # write was transferring: the data is dead on arrival.
+                # Don't stage it (the finally below returns the slot).
+                return
             if not coalesced:
-                self._dirty[lpn] = True
                 self._flush_queue.put(lpn)
+                # max(): under differing transfer lengths a newer write
+                # can finish staging before an older one -- never
+                # rewind the stamp the flusher races against trims.
+                self._dirty[lpn] = max(self._dirty.get(lpn, 0), stamp)
                 staged = True
+            elif lpn in self._dirty:
+                self._dirty[lpn] = max(self._dirty[lpn], stamp)
+            # else: the flush this write coalesced into already
+            # departed -- the update is lost, but nothing was staged
+            # here so there is nothing to queue or release.
         finally:
             # On an interrupt before the page is staged, the reserved
             # buffer slot would otherwise never be flushed-and-released.
@@ -195,12 +230,17 @@ class Ftl:
                 self.datapath.dram.write_buffer.cancel(grant)
 
     def _write_through_page(self, lpn: int, breakdown: Breakdown,
-                            priority: int = 0) -> Generator:
+                            priority: int = 0, stamp: int = 0) -> Generator:
         """Write-through: the page completes only after flash program."""
         addr = yield from self._allocate_with_gc()
         yield from self.datapath.io_program(addr, breakdown,
                                             priority=priority)
-        self._bind(lpn, addr)
+        if self._trim_stamp.get(lpn, 0) > stamp:
+            # A later-admitted TRIM processed while the program was in
+            # flight: binding now would resurrect the trimmed LPN.
+            self.blocks.commit_page(addr, valid=False)
+        else:
+            self._bind(lpn, addr)
         self.gc.maybe_trigger()
 
     def _read_page(self, lpn: int, breakdown: Breakdown,
@@ -226,7 +266,14 @@ class Ftl:
     def _flusher(self) -> Generator:
         while True:
             lpn = yield self._flush_queue.get()
-            self._dirty.pop(lpn, None)
+            if lpn not in self._dirty:
+                # Trimmed (or double-staged) while queued: the staged
+                # page is a tombstone.  Give its buffer slot back
+                # without programming anything -- every queue entry
+                # carries exactly one reservation.
+                self.datapath.dram.release_buffer_page()
+                continue
+            stamp = self._dirty.pop(lpn)
             addr = yield from self._allocate_with_gc()
             breakdown = Breakdown()
             try:
@@ -235,7 +282,12 @@ class Ftl:
                 # Even if this flusher is killed mid-write, the buffer
                 # slot must come back -- host writes backpressure on it.
                 self.datapath.dram.release_buffer_page()
-            self._bind(lpn, addr)
+            if self._trim_stamp.get(lpn, 0) > stamp:
+                # Trimmed while the flush program was in flight: the
+                # page lands physically but must not be mapped.
+                self.blocks.commit_page(addr, valid=False)
+            else:
+                self._bind(lpn, addr)
             self.gc.maybe_trigger()
 
     def _allocate_with_gc(self) -> Generator:
@@ -356,6 +408,11 @@ class Ftl:
         holds ``valid_ratio`` of its pages as valid mapped LPNs and the
         rest invalid (pre-invalidated so GC has work).  Returns the
         number of LPNs mapped.  Must run before any simulated traffic.
+
+        The GC reserve is always left free: a fill fraction that rounds
+        up to every block in a plane would otherwise pre-condition the
+        device into a state garbage collection can never escape (no
+        scratch block to relocate valid pages into).
         """
         if not 0.0 < fill_fraction <= 1.0:
             raise ConfigError(f"fill_fraction out of (0,1]: {fill_fraction}")
@@ -365,7 +422,8 @@ class Ftl:
         geometry = self.geometry
         pages_per_block = geometry.pages_per_block
         fill_per_plane = int(round(geometry.blocks_per_plane * fill_fraction))
-        fill_per_plane = min(fill_per_plane, geometry.blocks_per_plane)
+        fill_cap = geometry.blocks_per_plane - self.blocks.gc_reserve_blocks
+        fill_per_plane = min(fill_per_plane, max(fill_cap, 0))
         lpn = 0
         backend = getattr(self.datapath, "backend", None)
         # Fill plane-by-plane so the surviving free blocks are spread

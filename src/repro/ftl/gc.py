@@ -294,6 +294,11 @@ class GarbageCollector:
             self.stats.pages_dropped += 1
             return
         dst = None
+        # Starvation bound: with host/GC write streams separated and
+        # fully-valid victims skipped, some worker always finishes its
+        # block and erases; if no erase lands within this many polls the
+        # allocator invariant is broken and silence would be a livelock.
+        polls_left = 10_000
         while dst is None:
             try:
                 dst = self.blocks.allocate_page(for_gc=True)
@@ -301,6 +306,13 @@ class GarbageCollector:
                 # Transiently out of destinations: wait for an erase from
                 # another worker to replenish the pool, then retry.
                 self.stats.alloc_stalls += 1
+                if polls_left <= 0:
+                    raise MappingError(
+                        f"gc destination starvation: no erase completed "
+                        f"in {10_000 * self.preempt_poll_us:.0f}us while "
+                        f"relocating {src}"
+                    )
+                polls_left -= 1
                 yield self.sim.timeout(self.preempt_poll_us)
                 if self.mapping.reverse_lookup(src_ppn) is None:
                     self.blocks.invalidate(src)

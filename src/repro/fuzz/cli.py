@@ -5,11 +5,13 @@ Usage::
     python -m repro fuzz --smoke --seed 7      # deterministic CI gate
     python -m repro fuzz --execs 500 --jobs 4  # longer exploration
     python -m repro fuzz --time 60             # wall-clock budget
+    python -m repro fuzz --differential --smoke  # baseline-vs-dssd gate
     python -m repro fuzz repro case.json       # replay a saved repro
 
 Exit codes: 0 when no oracle tripped (or a replayed repro no longer
 reproduces), 1 when a violation was found (or a replay still
-reproduces), 2 when a ``--smoke`` run misses its pinned coverage floor.
+reproduces), 2 when a ``--smoke`` run misses its pinned coverage floor
+or a repro case file is missing, truncated, or malformed.
 """
 
 from __future__ import annotations
@@ -20,24 +22,77 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .engine import SMOKE_EXECS, SMOKE_MIN_EDGES, run_fuzz
+from ..errors import ReproError
+from .engine import (SMOKE_DIFF_EXECS, SMOKE_DIFF_MIN_EDGES, SMOKE_EXECS,
+                     SMOKE_MIN_EDGES, run_fuzz)
 from .executor import execute
 from .genome import ARCHES, Genome
 
-__all__ = ["main", "replay_case"]
+__all__ = ["CaseFileError", "load_case", "main", "replay_case"]
+
+
+class CaseFileError(ReproError):
+    """A repro case file could not be loaded (missing/truncated/bad)."""
+
+
+def load_case(path: Path) -> dict:
+    """Load and validate a saved repro case.
+
+    Raises :class:`CaseFileError` with a one-line diagnostic for every
+    failure mode a file can have -- missing, unreadable, truncated or
+    non-JSON, wrong schema version, or a missing/malformed genome --
+    instead of letting the raw traceback escape to the operator.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise CaseFileError(f"cannot read repro case {path}: "
+                            f"{exc.strerror or exc}") from exc
+    try:
+        case = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CaseFileError(f"repro case {path} is not valid JSON "
+                            f"(truncated?): {exc}") from exc
+    if not isinstance(case, dict):
+        raise CaseFileError(f"repro case {path} is not a JSON object")
+    schema = case.get("schema")
+    if schema != 1:
+        raise CaseFileError(f"repro case {path} has unsupported schema "
+                            f"{schema!r} (expected 1)")
+    genome_state = case.get("genome")
+    if not isinstance(genome_state, dict):
+        raise CaseFileError(f"repro case {path} is missing its genome")
+    try:
+        case["_genome"] = Genome.from_dict(genome_state)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CaseFileError(f"repro case {path} has a malformed genome: "
+                            f"{exc}") from exc
+    return case
 
 
 def replay_case(path: Path) -> dict:
-    """Replay a saved repro case; returns the execution outcome."""
-    case = json.loads(Path(path).read_text())
-    genome = Genome.from_dict(case["genome"])
-    return execute(genome, collect_coverage=False)
+    """Replay a saved repro case; returns the execution outcome.
+
+    Differential cases (``"mode": "differential"``) replay in
+    differential mode, so an ``arch_divergence`` repro re-runs the
+    same baseline-vs-dssd comparison that produced it.  Raises
+    :class:`CaseFileError` on an unloadable case file.
+    """
+    case = load_case(Path(path))
+    return execute(case["_genome"], collect_coverage=False,
+                   differential=case.get("mode") == "differential")
 
 
 def _run_repro(path: str) -> int:
-    case = json.loads(Path(path).read_text())
+    try:
+        case = load_case(Path(path))
+    except CaseFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     oracle = case.get("oracle")
-    outcome = replay_case(Path(path))
+    outcome = execute(case["_genome"], collect_coverage=False,
+                      differential=case.get("mode") == "differential")
     tripped = [v for v in outcome["violations"]
                if oracle is None or v["oracle"] == oracle]
     print(f"replayed {path}: status={outcome['status']}")
@@ -86,9 +141,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="pin every genome to one architecture preset",
     )
     parser.add_argument(
+        "--differential", action="store_true",
+        help="run every genome on both the baseline and dssd presets "
+             "and flag canonical end-state mismatches as "
+             "arch_divergence findings",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
-        help=f"CI mode: exactly {SMOKE_EXECS} execs, asserts at least "
-             f"{SMOKE_MIN_EDGES} distinct coverage edges",
+        help=f"CI mode: exactly {SMOKE_EXECS} execs "
+             f"({SMOKE_DIFF_EXECS} with --differential), asserts at "
+             f"least {SMOKE_MIN_EDGES} distinct coverage edges",
     )
     parser.add_argument(
         "--corpus-dir", metavar="DIR", default=None,
@@ -107,7 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     execs = args.execs
     time_budget = args.time
     if args.smoke:
-        execs = SMOKE_EXECS
+        execs = SMOKE_DIFF_EXECS if args.differential else SMOKE_EXECS
         time_budget = None
 
     report = run_fuzz(
@@ -119,13 +181,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         corpus_root=Path(args.corpus_dir) if args.corpus_dir else None,
         repro_dir=Path(args.repro_dir) if args.repro_dir else None,
         minimize=not args.no_minimize,
+        differential=args.differential,
         log=lambda message: print(message, file=sys.stderr),
     )
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
 
-    if args.smoke and report.distinct_edges < SMOKE_MIN_EDGES:
+    edge_floor = SMOKE_DIFF_MIN_EDGES if args.differential \
+        else SMOKE_MIN_EDGES
+    if args.smoke and report.distinct_edges < edge_floor:
         print(f"[fuzz] smoke FAILED: {report.distinct_edges} distinct "
-              f"edges < pinned floor {SMOKE_MIN_EDGES}", file=sys.stderr)
+              f"edges < pinned floor {edge_floor}", file=sys.stderr)
         return 2
     return 1 if report.violations else 0
 

@@ -29,6 +29,21 @@ WATCHED_PREFIXES = ("ftl/", "host/qos", "reliability/", "core/datapath")
 
 _PACKAGE_ROOT = str(Path(__file__).resolve().parent.parent)
 
+# Watched packages that the executor otherwise imports lazily (the
+# reliability engine only loads when a genome enables faults).  If the
+# first such import happens *under* an active tracer, that one execution
+# records module-body edges no later run can reproduce, so coverage --
+# and the corpus hash -- would depend on process history.  Import them
+# here, before any collector installs, so tracing never sees an import.
+from ..reliability import (  # noqa: E402,F401  (placement is the point)
+    badblocks as _badblocks,
+    config as _rel_config,
+    engine as _rel_engine,
+    faults as _faults,
+    ladder as _ladder,
+    rber as _rber,
+)
+
 #: sys.monitoring tool slot (3.12+); PROFILER_ID is free in our runs.
 _TOOL_NAME = "repro-fuzz-coverage"
 

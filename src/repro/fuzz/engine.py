@@ -35,16 +35,27 @@ from .minimize import minimize_for_oracle
 from .mutate import mutate
 from .seeds import make_seeds
 
-__all__ = ["FuzzReport", "SMOKE_EXECS", "SMOKE_MIN_EDGES", "run_fuzz"]
+__all__ = ["FuzzReport", "SMOKE_DIFF_EXECS", "SMOKE_DIFF_MIN_EDGES",
+           "SMOKE_EXECS", "SMOKE_MIN_EDGES", "run_fuzz"]
 
 #: Execution budget of ``--smoke`` (exec-counted, never wall-clock, so
 #: the run is identical on any machine).
 SMOKE_EXECS = 120
 
+#: Execution budget of ``--differential --smoke``.  Each differential
+#: execution runs the genome on both architectures (plus any power-cut
+#: pass twice), so the budget is smaller than the single-arch smoke.
+SMOKE_DIFF_EXECS = 48
+
 #: Pinned floor of distinct coverage edges a smoke run must reach
 #: (~1300 observed on CPython 3.11's settrace path; the floor sits at
 #: ~70% of that to absorb interpreter-version line-numbering drift).
 SMOKE_MIN_EDGES = 900
+
+#: Edge floor for the differential smoke (~490 observed: the smaller
+#: exec budget plus zeroed reliability knobs in every pair prune the
+#: reliability/ edges; same ~70% headroom policy).
+SMOKE_DIFF_MIN_EDGES = 350
 
 #: ddmin probe budget per minimization.
 MINIMIZE_TESTS = 150
@@ -61,6 +72,8 @@ class FuzzReport:
     distinct_edges: int = 0
     distinct_features: int = 0
     elapsed_s: float = 0.0
+    #: Whether executions ran in baseline-vs-dssd differential mode.
+    differential: bool = False
     #: One entry per distinct oracle tripped:
     #: ``{"oracle", "detail", "ops", "minimized_ops", "path"}``.
     violations: List[dict] = field(default_factory=list)
@@ -74,6 +87,7 @@ class FuzzReport:
             "distinct_edges": self.distinct_edges,
             "distinct_features": self.distinct_features,
             "elapsed_s": round(self.elapsed_s, 2),
+            "differential": self.differential,
             "violations": self.violations,
         }
 
@@ -83,12 +97,19 @@ def _pool_execute(genome_state: dict) -> dict:
     return execute(Genome.from_dict(genome_state))
 
 
-def _execute_batch(batch: List[Genome], jobs: int) -> List[dict]:
+def _pool_execute_diff(genome_state: dict) -> dict:
+    """Differential-mode worker entry."""
+    return execute(Genome.from_dict(genome_state), differential=True)
+
+
+def _execute_batch(batch: List[Genome], jobs: int,
+                   differential: bool = False) -> List[dict]:
     if jobs <= 1 or len(batch) <= 1:
-        return [execute(genome) for genome in batch]
+        return [execute(genome, differential=differential)
+                for genome in batch]
+    worker = _pool_execute_diff if differential else _pool_execute
     with multiprocessing.Pool(min(jobs, len(batch))) as pool:
-        return pool.map(_pool_execute,
-                        [genome.to_dict() for genome in batch])
+        return pool.map(worker, [genome.to_dict() for genome in batch])
 
 
 def _edge_count(corpus: Corpus) -> int:
@@ -103,22 +124,26 @@ def run_fuzz(seed: int = 7,
              corpus_root: Optional[Path] = None,
              repro_dir: Optional[Path] = None,
              minimize: bool = True,
+             differential: bool = False,
              log=None) -> FuzzReport:
     """Run one fuzzing session; returns the :class:`FuzzReport`.
 
     ``execs`` counts main-loop executions (seeds + mutants; ddmin
     probes are budgeted separately).  ``time_budget_s`` optionally
     stops the loop on wall-clock instead -- never combine it with a
-    determinism comparison.
+    determinism comparison.  With ``differential=True`` every
+    execution runs the genome on both architectures and compares
+    their canonical end states (see :mod:`~repro.fuzz.diffcheck`);
+    minimization and repro replay then happen in the same mode.
     """
     if execs is None and time_budget_s is None:
-        execs = SMOKE_EXECS
+        execs = SMOKE_DIFF_EXECS if differential else SMOKE_EXECS
     say = log if log is not None else (lambda message: None)
     repro_dir = Path(repro_dir) if repro_dir is not None else None
     started = time.monotonic()
     rng = random.Random(seed)
     corpus = Corpus(root=corpus_root)
-    report = FuzzReport(seed=seed)
+    report = FuzzReport(seed=seed, differential=differential)
     seen_oracles = set()
 
     def out_of_budget() -> bool:
@@ -148,18 +173,23 @@ def run_fuzz(seed: int = 7,
         case = genome
         if minimize:
             case = minimize_for_oracle(genome, oracle,
-                                       max_tests=MINIMIZE_TESTS)
+                                       max_tests=MINIMIZE_TESTS,
+                                       differential=differential)
             entry["minimized_ops"] = len(case.ops)
             say(f"[fuzz] minimized {oracle} repro to {len(case.ops)} op(s)")
         if repro_dir is not None:
             repro_dir.mkdir(parents=True, exist_ok=True)
             path = repro_dir / f"repro_{oracle}_{case.content_hash()[:12]}.json"
-            path.write_text(json.dumps({
+            case_record = {
                 "schema": 1,
                 "oracle": oracle,
                 "detail": violation["detail"],
                 "genome": case.to_dict(),
-            }, indent=2, sort_keys=True))
+            }
+            if differential:
+                case_record["mode"] = "differential"
+            path.write_text(json.dumps(case_record, indent=2,
+                                       sort_keys=True))
             entry["path"] = str(path)
             say(f"[fuzz] repro written: {path}")
         entry["genome"] = case.to_dict()
@@ -172,7 +202,7 @@ def run_fuzz(seed: int = 7,
     while index < len(seeds) and not out_of_budget():
         batch = seeds[index:index + max(jobs, 1)]
         index += len(batch)
-        outcomes = _execute_batch(batch, jobs)
+        outcomes = _execute_batch(batch, jobs, differential)
         report.executions += len(batch)
         for genome, outcome in zip(batch, outcomes):
             fold(genome, outcome)
@@ -187,7 +217,7 @@ def run_fuzz(seed: int = 7,
             parent = corpus.pick(rng)
             donor = corpus.pick(rng)
             batch.append(mutate(rng, parent, donor))
-        outcomes = _execute_batch(batch, jobs)
+        outcomes = _execute_batch(batch, jobs, differential)
         report.executions += len(batch)
         for genome, outcome in zip(batch, outcomes):
             fold(genome, outcome)

@@ -15,11 +15,25 @@ Two modes, selected by ``genome.config.tenants``:
   reject attached frontends): with ``snapshot_at > 0`` the run splits
   at a drain point, snapshots, restores into a second device, and
   finishes the op tail on both -- their final snapshots must match.
+  ``powercut_at > 0`` additionally replays the genome on a second
+  device that loses power mid-flight, rebuilds from flash-durable
+  state only (:func:`~repro.core.checkpoint.durable_state`), and runs
+  the unsubmitted op tail plus the mapping/quiescence oracles on the
+  recovered device -- any failure is a ``powerloss_recovery`` finding.
 
 * **Frontend** (``tenants >= 1``): per-tenant scripted drivers feed a
   real :class:`~repro.host.frontend.MultiQueueFrontend` via its
   admission API, exercising arbiters, token-bucket QoS, and
   drop-on-full admission.
+
+**Differential mode** (``execute(..., differential=True)``) runs the
+same op sequence against both the ``baseline`` and ``dssd`` presets and
+compares their :mod:`~repro.fuzz.diffcheck` canonical end states; any
+mismatch is an ``arch_divergence`` finding.  The pair runs with the
+reliability knobs zeroed (fault RNG draws are consumed in
+datapath-timing order, so they are architecture-dependent noise) and
+``snapshot_at`` disabled (orthogonal, and it would double the runtime);
+``powercut_at`` is kept so recovery is asserted on both architectures.
 """
 
 from __future__ import annotations
@@ -28,7 +42,8 @@ import json
 import traceback
 from typing import Generator, List, Optional
 
-from ..core.checkpoint import restore_ssd, snapshot_ssd
+from ..core.checkpoint import (durable_state, recover_ssd, restore_ssd,
+                               snapshot_ssd)
 from ..core.config import ArchPreset, SSDConfig, sim_geometry
 from ..core.ssd import SimulatedSSD
 from ..errors import ReproError
@@ -37,21 +52,27 @@ from ..host.frontend import MultiQueueFrontend
 from ..host.qos import QosPolicy
 from ..host.tenant import TenantSpec
 from ..sim.kernel import SimulationError
-from . import canary, oracles
+from . import canary, diffcheck, oracles
 from .coverage import CoverageCollector, semantic_features
 from .genome import FUZZ_GEOMETRY, FuzzOp, Genome, GenomeConfig
 
-__all__ = ["DEVICE_SEED", "HORIZON_US", "build_config", "execute"]
+__all__ = ["DEVICE_SEED", "DIFF_ARCHES", "HORIZON_US", "build_config",
+           "execute"]
 
 #: Fixed device seed: execution depends on the genome alone, so ddmin
 #: shrinking never perturbs device randomness.
 DEVICE_SEED = 0xD55D
 
-#: Simulated-time budget per run phase.  Generous against any honest
+#: Simulated-time budget per device run.  Generous against any honest
 #: genome (<< 1e5 us of issued work) but finite, so polling livelocks
 #: advance simulated time until the horizon instead of hanging the
-#: fuzzer -- a phase that hits it reports status "stall".
+#: fuzzer -- a run that hits it reports status "stall".  The budget is
+#: an *absolute* deadline per device: a snapshot-split run's head and
+#: tail share one horizon, so split and unsplit runs stall identically.
 HORIZON_US = 2_000_000.0
+
+#: The architecture pair differential mode compares.
+DIFF_ARCHES = ("baseline", "dssd")
 
 _OP_CODES = {"read": READ, "write": WRITE, "trim": TRIM}
 
@@ -105,28 +126,64 @@ class _PhaseResult:
         self.detail = detail
 
 
-def _run_direct(ssd: SimulatedSSD, ops: List[FuzzOp]) -> _PhaseResult:
-    """Submit *ops* straight to the FTL and drain; classify the ending."""
+def _spawn_driver(ssd: SimulatedSSD, ops: List[FuzzOp],
+                  state: dict, procs: List) -> None:
+    """Start the scripted direct-mode driver (shared by every phase).
+
+    ``state["issued"]`` tracks how many ops have been handed to the
+    device so a power-cut pass knows which tail remains unsubmitted;
+    ``state["done"]`` flips when the script ends.
+    """
     sim = ssd.sim
-    state = {"done": False}
-    procs: List = []
 
     def driver() -> Generator:
-        for op in ops:
+        for index, op in enumerate(ops):
             if op.gap_us > 0.0:
                 yield sim.timeout(op.gap_us)
             if op.kind == "flush":
                 pending = [p for p in procs if not p.triggered]
                 if pending:
                     yield sim.all_of(pending)
-                continue
-            procs.append(ssd.ftl.submit(_make_request(op, ssd.lpn_space)))
+            else:
+                procs.append(
+                    ssd.ftl.submit(_make_request(op, ssd.lpn_space)))
+            state["issued"] = index + 1
         state["done"] = True
 
     sim.process(driver(), name="fuzz_driver")
-    deadline = sim.now + HORIZON_US
+
+
+def _drain_until(sim, deadline: float) -> None:
+    """Dispatch queued events up to *deadline* without clock inflation.
+
+    ``Simulator.run(until=...)`` fast-forwards ``now`` onto *until*
+    when the queue empties first; with one absolute stall budget per
+    execution that would charge a completed head phase for the whole
+    horizon and leave the tail none.  Stepping dispatches in the same
+    ``(time, seq)`` heap order but stops the clock at the last event
+    actually executed.
+    """
+    while True:
+        upcoming = sim.peek()
+        if upcoming is None or upcoming > deadline:
+            return
+        sim.step()
+
+
+def _run_direct(ssd: SimulatedSSD, ops: List[FuzzOp],
+                deadline: float) -> _PhaseResult:
+    """Submit *ops* straight to the FTL and drain; classify the ending.
+
+    *deadline* is an absolute simulated time: callers compute it once
+    per device (``sim.now + HORIZON_US`` at the run's start) so a
+    snapshot-split execution's phases share one stall budget.
+    """
+    sim = ssd.sim
+    state = {"done": False, "issued": 0}
+    procs: List = []
+    _spawn_driver(ssd, ops, state, procs)
     try:
-        sim.run(until=deadline)
+        _drain_until(sim, deadline)
     except Exception as exc:  # noqa: BLE001 - any model crash is a finding
         return _PhaseResult(
             "exception",
@@ -145,7 +202,7 @@ def _run_direct(ssd: SimulatedSSD, ops: List[FuzzOp]) -> _PhaseResult:
 
 
 def _run_frontend(ssd: SimulatedSSD, config: GenomeConfig,
-                  ops: List[FuzzOp]) -> _PhaseResult:
+                  ops: List[FuzzOp], deadline: float) -> _PhaseResult:
     """Feed *ops* through a MultiQueueFrontend with scripted drivers."""
     sim = ssd.sim
     tenants = config.tenants
@@ -188,9 +245,8 @@ def _run_frontend(ssd: SimulatedSSD, config: GenomeConfig,
         for qid in range(tenants)
     ]
     frontend.start_scripted(drivers)
-    deadline = sim.now + HORIZON_US
     try:
-        sim.run(until=deadline)
+        _drain_until(sim, deadline)
     except Exception as exc:  # noqa: BLE001 - any model crash is a finding
         return _PhaseResult(
             "exception",
@@ -220,14 +276,15 @@ def _execute_direct(genome: Genome, outcome: dict) -> SimulatedSSD:
     config = genome.config
     ops = genome.ops
     ssd = _build_device(config)
+    deadline = ssd.sim.now + HORIZON_US
     split = int(len(ops) * config.snapshot_at) if config.snapshot_at else 0
     if not 0 < split < len(ops):
-        result = _run_direct(ssd, ops)
+        result = _run_direct(ssd, ops, deadline)
         outcome["status"] = result.status
         outcome["detail"] = result.detail
         return ssd
 
-    head = _run_direct(ssd, ops[:split])
+    head = _run_direct(ssd, ops[:split], deadline)
     if head.status != "ok":
         outcome["status"] = head.status
         outcome["detail"] = head.detail
@@ -242,11 +299,13 @@ def _execute_direct(genome: Genome, outcome: dict) -> SimulatedSSD:
         # path (status stays ok so oracles.check runs quiescence).
         outcome.setdefault("notes", []).append(
             f"snapshot at split refused: {exc}")
-    tail = _run_direct(ssd, ops[split:])
+    tail = _run_direct(ssd, ops[split:], deadline)
     outcome["status"] = tail.status
     outcome["detail"] = tail.detail
     if restored is not None:
-        tail2 = _run_direct(restored, ops[split:])
+        # The restored device's clock is rewound onto the snapshot
+        # time, so the same absolute deadline bounds its tail too.
+        tail2 = _run_direct(restored, ops[split:], deadline)
         primary = _canonical_snapshot(ssd)
         secondary = _canonical_snapshot(restored)
         if tail.status == "ok" and tail2.status != "ok":
@@ -267,15 +326,119 @@ def _execute_direct(genome: Genome, outcome: dict) -> SimulatedSSD:
     return ssd
 
 
-def execute(genome: Genome, collect_coverage: bool = True) -> dict:
+def _check_powercut(genome: Genome, end_time: float) -> List[dict]:
+    """Power-loss pass: cut, rebuild from durable state, replay, audit.
+
+    Replays the genome on a fresh device up to ``powercut_at`` of the
+    measured uninterrupted duration *end_time*, yanks power there
+    (mid-flight, event queue intact), mounts a recovered device from
+    the flash-durable projection, runs the not-yet-submitted op tail on
+    it, and applies the standard oracle battery.  Every failure --
+    including a crash inside recovery itself -- comes back as a
+    ``powerloss_recovery`` violation.
+    """
+    cut_time = genome.config.powercut_at * end_time
+    if cut_time <= 0.0:
+        return []
+    ssd = _build_device(genome.config)
+    state = {"done": False, "issued": 0}
+    procs: List = []
+    _spawn_driver(ssd, genome.ops, state, procs)
+    try:
+        ssd.sim.run(until=cut_time)
+        durable = json.loads(json.dumps(durable_state(ssd)))
+        recovered = recover_ssd(durable)
+        canary.maybe_install(recovered)
+    except Exception as exc:  # noqa: BLE001 - recovery crash is the finding
+        line = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        return [{"oracle": "powerloss_recovery",
+                 "detail": f"recovery crashed at cut t={cut_time:.1f}us "
+                           f"({state['issued']} op(s) issued): {line}"}]
+    tail = genome.ops[state["issued"]:]
+    result = _run_direct(recovered, tail,
+                         recovered.sim.now + HORIZON_US)
+    violations = []
+    for found in oracles.check(recovered, result.status, result.detail):
+        violations.append({
+            "oracle": "powerloss_recovery",
+            "detail": f"post-recovery {found['oracle']} (cut at "
+                      f"t={cut_time:.1f}us, {state['issued']} op(s) "
+                      f"issued, {len(tail)} replayed): {found['detail']}",
+        })
+    return violations
+
+
+def _differential_pair(genome: Genome) -> List[Genome]:
+    """The two arch-pinned genomes a differential execution compares.
+
+    Reliability knobs are zeroed (the fault RNG is consumed in
+    datapath-timing order -- architecture-dependent noise, see
+    :mod:`~repro.fuzz.diffcheck`) and ``snapshot_at`` is disabled;
+    everything else, including ``powercut_at``, carries over.
+    """
+    pair = []
+    for arch in DIFF_ARCHES:
+        state = genome.config.to_dict()
+        state["arch"] = arch
+        state["base_rber"] = 0.0
+        state["fault_rate"] = 0.0
+        state["snapshot_at"] = 0.0
+        pair.append(Genome(config=GenomeConfig.from_dict(state),
+                           ops=genome.ops, origin=genome.origin))
+    return pair
+
+
+def _execute_differential(genome: Genome, collect_coverage: bool) -> dict:
+    outcome: dict = {"status": "ok", "detail": "", "violations": [],
+                     "features": set(), "metrics": {}, "edges": set()}
+    canonical = {}
+    for arch_genome in _differential_pair(genome):
+        arch = arch_genome.config.arch
+        sub = execute(arch_genome, collect_coverage=collect_coverage)
+        outcome["edges"].update(sub["edges"])
+        outcome["features"].update(sub["features"])
+        for violation in sub["violations"]:
+            outcome["violations"].append({
+                "oracle": violation["oracle"],
+                "detail": f"[{arch}] {violation['detail']}",
+            })
+        if sub["status"] != "ok" and outcome["status"] == "ok":
+            outcome["status"] = sub["status"]
+            outcome["detail"] = f"[{arch}] {sub['detail']}"
+        outcome["metrics"][arch] = sub["metrics"]
+        canonical[arch] = sub["canonical"]
+    mismatches = diffcheck.diff(canonical[DIFF_ARCHES[0]],
+                                canonical[DIFF_ARCHES[1]],
+                                labels=DIFF_ARCHES)
+    if mismatches:
+        outcome["violations"].append({
+            "oracle": "arch_divergence",
+            "detail": "; ".join(mismatches),
+        })
+    outcome["canonical"] = canonical
+    outcome["edges"] = sorted(outcome["edges"])
+    outcome["features"] = sorted(outcome["features"])
+    return outcome
+
+
+def execute(genome: Genome, collect_coverage: bool = True,
+            differential: bool = False) -> dict:
     """Run one genome; return a picklable outcome record.
 
     Keys: ``status`` (ok/deadlock/stall/exception), ``detail``,
     ``violations`` (list of ``{"oracle", "detail"}``), ``edges`` and
-    ``features`` (sorted lists of stable strings), ``metrics``.
+    ``features`` (sorted lists of stable strings), ``metrics``, and
+    ``canonical`` (the :mod:`~repro.fuzz.diffcheck` projection).
     Oracles run in here -- workers ship verdicts, not live devices.
+
+    With ``differential=True`` the genome executes on both
+    :data:`DIFF_ARCHES`; edges/features are unioned, per-arch
+    violations are prefixed with their architecture, and a canonical
+    end-state mismatch adds an ``arch_divergence`` violation.
     """
     genome = genome.normalized()
+    if differential:
+        return _execute_differential(genome, collect_coverage)
     outcome: dict = {"status": "ok", "detail": "", "violations": [],
                      "features": set(), "metrics": {}}
     collector = CoverageCollector()
@@ -284,9 +447,13 @@ def execute(genome: Genome, collect_coverage: bool = True) -> dict:
     try:
         if genome.config.tenants == 0:
             ssd = _execute_direct(genome, outcome)
+            if genome.config.powercut_at > 0.0 and outcome["status"] == "ok":
+                outcome["violations"].extend(
+                    _check_powercut(genome, ssd.sim.now))
         else:
             ssd = _build_device(genome.config)
-            result = _run_frontend(ssd, genome.config, genome.ops)
+            result = _run_frontend(ssd, genome.config, genome.ops,
+                                   ssd.sim.now + HORIZON_US)
             outcome["status"] = result.status
             outcome["detail"] = result.detail
     finally:
@@ -296,6 +463,8 @@ def execute(genome: Genome, collect_coverage: bool = True) -> dict:
     outcome["features"].update(semantic_features(ssd, outcome["status"]))
     outcome["violations"].extend(
         oracles.check(ssd, outcome["status"], outcome["detail"]))
+    outcome["canonical"] = diffcheck.canonical_state(
+        ssd, outcome["status"], outcome["detail"])
     outcome["metrics"] = {
         "sim_now_us": ssd.sim.now,
         "requests_completed": ssd.ftl.requests_completed,

@@ -128,6 +128,13 @@ class GenomeConfig:
     #: drains, snapshots, restores, and continues on both devices to
     #: check for divergence.  0 disables the oracle.
     snapshot_at: float = 0.0
+    #: Direct mode only: fraction of the (measured) run duration at
+    #: which a second pass of the same genome loses power mid-flight.
+    #: The device is rebuilt from flash-durable state only
+    #: (:func:`~repro.core.checkpoint.durable_state`), the unsubmitted
+    #: op tail replays on the recovered device, and the mapping/
+    #: quiescence oracles must pass.  0 disables the check.
+    powercut_at: float = 0.0
 
     def normalized(self) -> "GenomeConfig":
         """Copy with every field clamped onto its legal range."""
@@ -149,6 +156,7 @@ class GenomeConfig:
             drop_on_full=bool(self.drop_on_full),
             rate_iops=_clamp(float(self.rate_iops), 0.0, 200_000.0),
             snapshot_at=_clamp(float(self.snapshot_at), 0.0, 0.9),
+            powercut_at=_clamp(float(self.powercut_at), 0.0, 0.9),
         )
 
     def to_dict(self) -> dict:

@@ -59,17 +59,25 @@ def ddmin(genome: Genome, predicate: Callable[[Genome], bool],
 
 def minimize_for_oracle(genome: Genome, oracle: str,
                         max_tests: int = 200,
-                        execute: Optional[Callable] = None) -> Genome:
+                        execute: Optional[Callable] = None,
+                        differential: bool = False) -> Genome:
     """Shrink *genome* so the named oracle still trips.
 
     *execute* defaults to :func:`repro.fuzz.executor.execute`
-    (injectable for tests).  Coverage collection is disabled during
-    shrinking -- only the verdict matters, and tracing would slow the
-    O(n log n) probe sequence down for nothing.
+    (injectable for tests); with ``differential=True`` the default
+    probes run in differential mode, so cross-architecture findings
+    (``arch_divergence`` and arch-prefixed per-arch violations) shrink
+    against the same pair execution that found them.  Coverage
+    collection is disabled during shrinking -- only the verdict
+    matters, and tracing would slow the O(n log n) probe sequence down
+    for nothing.
     """
     if execute is None:
         from .executor import execute as execute_genome
-        execute = execute_genome
+
+        def execute(candidate, collect_coverage=False):
+            return execute_genome(candidate, collect_coverage=False,
+                                  differential=differential)
 
     def trips(candidate: Genome) -> bool:
         outcome = execute(candidate, collect_coverage=False)

@@ -143,7 +143,7 @@ def _mutate_config(rng: random.Random, genome: Genome,
     field = rng.choice(["arch", "tenants", "arbiter", "queue_depth",
                         "write_policy", "gc_policy", "base_rber",
                         "fault_rate", "drop_on_full", "rate_iops",
-                        "snapshot_at", "prefill_fraction"])
+                        "snapshot_at", "powercut_at", "prefill_fraction"])
     if field == "arch":
         state["arch"] = rng.choice(ARCHES)
     elif field == "tenants":
@@ -166,6 +166,8 @@ def _mutate_config(rng: random.Random, genome: Genome,
         state["rate_iops"] = rng.choice([0.0, 5_000.0, 25_000.0, 100_000.0])
     elif field == "snapshot_at":
         state["snapshot_at"] = rng.choice([0.0, 0.3, 0.5, 0.7])
+    elif field == "powercut_at":
+        state["powercut_at"] = rng.choice([0.0, 0.25, 0.5, 0.75])
     else:
         state["prefill_fraction"] = rng.choice([0.6, 0.75, 0.85, 0.95])
     config = genome.config.from_dict(state)

@@ -24,6 +24,14 @@ Oracle catalogue:
 * ``snapshot_divergence`` -- raised by the executor when continuing
   after a mid-sequence snapshot/restore does not match the
   uninterrupted run.
+* ``arch_divergence`` -- raised by the executor in differential mode
+  when the baseline and dssd runs of the same op sequence end with
+  different :mod:`~repro.fuzz.diffcheck` canonical states (logical
+  contents, completion counts, host-visible errors).
+* ``powerloss_recovery`` -- raised by the executor when rebuilding a
+  mid-flight power-cut device from flash-durable state crashes, or
+  when the recovered device fails any oracle above while replaying
+  the unsubmitted op tail.
 """
 
 from __future__ import annotations

@@ -112,6 +112,25 @@ def make_seeds(arch: Optional[str] = None) -> List[Genome]:
         origin="seed:snapshot-split",
     ))
 
+    # Power loss mid-flight: rebuild from durable state, replay the
+    # unsubmitted tail, and hold the recovered device to every oracle.
+    seeds.append(Genome(
+        config=GenomeConfig(arch="dssd", powercut_at=0.5),
+        ops=_workload_ops("rand_write", seed=31, read_fraction=0.0),
+        origin="seed:powercut",
+    ))
+    pc_trim_ops = []
+    for index in range(_OPS_PER_SEED // 2):
+        frac = (index * 53 % _SEED_LPN_SPACE) / _SEED_LPN_SPACE
+        pc_trim_ops.append(FuzzOp(kind="write", lpn_frac=frac, n_pages=4))
+        pc_trim_ops.append(FuzzOp(kind="trim", lpn_frac=frac, n_pages=5))
+    seeds.append(Genome(
+        config=GenomeConfig(arch="baseline", write_policy="writethrough",
+                            powercut_at=0.35),
+        ops=pc_trim_ops,
+        origin="seed:powercut-trim",
+    ))
+
     # Drop-on-full admission with three tenants on priority arbitration.
     drop_ops = _workload_ops("rand_write", seed=29, read_fraction=0.2)
     for index, op in enumerate(drop_ops):

@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..errors import SamplesUnavailableError
+
 __all__ = ["LatencyStats", "TimeBins", "Counter", "percentile"]
 
 _INF = float("inf")
@@ -210,15 +212,17 @@ class LatencyStats:
         *fraction* must be in ``[0, 1]`` (ValueError otherwise), even
         on an empty recorder -- an out-of-range tail request is a
         caller bug regardless of whether samples have landed yet.
-        Raises :class:`ValueError` on a ``keep_samples=False``
-        recorder, where exact percentiles do not exist.
+        Raises :class:`~repro.errors.SamplesUnavailableError` (a
+        ``ValueError`` subclass) on a ``keep_samples=False`` recorder,
+        where exact percentiles do not exist -- note a recorder can
+        *become* sample-free by merging a sample-free peer in.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if self._count == 0:
             return 0.0
         if self._samples is None:
-            raise ValueError(
+            raise SamplesUnavailableError(
                 f"recorder {self.name!r} keeps no samples; exact "
                 "percentiles are unavailable (keep_samples=False)"
             )

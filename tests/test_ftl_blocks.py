@@ -99,7 +99,14 @@ def test_pick_victim_respects_valid_fraction_limit():
     mgr = make_manager()
     addrs = [mgr.allocate_page(plane=0) for _ in range(4)]
     for addr in addrs:
-        mgr.commit_page(addr, valid=True)  # 100% valid
+        mgr.commit_page(addr, valid=True)
+    # 100% valid: never a victim, even at max_valid_fraction=1.0 --
+    # collecting it frees nothing and burns the GC reserve.
+    assert mgr.pick_victim(0, max_valid_fraction=1.0) is None
+    addrs = [mgr.allocate_page(plane=0) for _ in range(4)]
+    for addr in addrs[:3]:
+        mgr.commit_page(addr, valid=True)
+    mgr.commit_page(addrs[3], valid=False)  # 75% valid
     assert mgr.pick_victim(0, max_valid_fraction=0.5) is None
     assert mgr.pick_victim(0, max_valid_fraction=1.0) is not None
 
@@ -182,3 +189,51 @@ def test_accounting_invariant_under_allocate_commit(valid_flags):
     assert all(info.pending == 0 for info in mgr.blocks.values())
     states = {info.state for info in mgr.blocks.values()}
     assert states <= {FREE, ACTIVE, FULL, BAD}
+
+
+def test_host_never_drains_gc_opened_active_block():
+    """Host and GC write streams use separate active blocks.
+
+    A block GC opened out of its per-plane reserve must not serve host
+    allocations: host traffic stealing relocation headroom is how the
+    device livelocks (every GC worker waiting for an erase that needs a
+    destination page first).
+    """
+    mgr = make_manager()
+    # Drain plane 0 to exactly the reserve so only GC may open a block.
+    while len(mgr._free[0]) > mgr.gc_reserve_blocks:
+        for _ in range(GEOM.pages_per_block):
+            mgr.allocate_page(plane=0)
+    gc_addr = mgr.allocate_page(for_gc=True, plane=0)
+    assert mgr._active_gc[0] is not None
+    # The host must NOT be handed pages from the GC's open block.
+    with pytest.raises(MappingError):
+        mgr.allocate_page(for_gc=False, plane=0)
+    # GC keeps writing into its own stream.
+    second = mgr.allocate_page(for_gc=True, plane=0)
+    assert second.block_addr() == gc_addr.block_addr()
+
+
+def test_pick_victim_skips_fully_valid_blocks():
+    """Collecting a 100%-valid block frees nothing: never pick one."""
+    mgr = make_manager()
+    full_valid = GEOM.block_addr_of(0)
+    mgr.prefill_block(full_valid, set(range(GEOM.pages_per_block)))
+    assert mgr.pick_victim(0) is None
+    partial = GEOM.block_addr_of(1)
+    mgr.prefill_block(partial, {0, 1})
+    victim = mgr.pick_victim(0)
+    assert victim is not None
+    assert victim.block_addr() == partial.block_addr()
+
+
+def test_state_roundtrip_preserves_gc_stream():
+    mgr = make_manager()
+    mgr.allocate_page(for_gc=True, plane=0)
+    # Commit the pending page so the state can snapshot.
+    mgr.blocks[mgr._active_gc[0]].pending = 0
+    state = mgr.state_dict()
+    clone = make_manager()
+    clone.load_state(state)
+    assert clone._active_gc == mgr._active_gc
+    assert clone._active == mgr._active

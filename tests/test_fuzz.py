@@ -45,7 +45,8 @@ def test_content_hash_ignores_origin():
 def test_normalized_clamps_everything():
     genome = Genome(
         config=GenomeConfig(arch="nonsense", tenants=99, queue_depth=1000,
-                            base_rber=1.0, snapshot_at=5.0),
+                            base_rber=1.0, snapshot_at=5.0,
+                            powercut_at=3.0),
         ops=[FuzzOp(kind="bogus", lpn_frac=7.5, n_pages=10 ** 6,
                     gap_us=-3.0, tenant=-4)] * (MAX_OPS + 50),
     ).normalized()
@@ -54,6 +55,7 @@ def test_normalized_clamps_everything():
     assert genome.config.queue_depth <= 32
     assert genome.config.base_rber <= 1e-3
     assert genome.config.snapshot_at <= 0.9
+    assert genome.config.powercut_at <= 0.9
     assert len(genome.ops) == MAX_OPS
     op = genome.ops[0]
     assert op.kind == "read"
@@ -169,6 +171,28 @@ def test_executor_seeds_all_clean():
         assert outcome["status"] == "ok", (genome.origin, outcome["detail"])
         assert not outcome["violations"], (genome.origin,
                                            outcome["violations"])
+
+
+def test_space_pressure_workload_reaches_quiescence():
+    """Regression for the GC livelock the differential fuzzer surfaced.
+
+    At the worst legal pre-conditioning (0.95 fill, 0.8 valid) the
+    prefill used to consume every block including the GC reserve, and
+    host writes drained GC-opened active blocks; every plane worker then
+    waited forever for an erase nobody could perform.  The fixed model
+    must drain this workload to quiescence on both architectures.
+    """
+    for arch in ("baseline", "dssd"):
+        config = GenomeConfig(arch=arch, prefill_fraction=0.95,
+                              prefill_valid_ratio=0.8, drop_on_full=False,
+                              snapshot_at=0.0, base_rber=0.0,
+                              fault_rate=0.0)
+        ops = [FuzzOp(kind="write", lpn_frac=i / 24.0, n_pages=8)
+               for i in range(24)]
+        genome = Genome(config=config, ops=ops).normalized()
+        outcome = execute(genome, collect_coverage=False)
+        assert outcome["status"] == "ok", (arch, outcome["detail"])
+        assert not outcome["violations"], (arch, outcome["violations"])
 
 
 # ---------------------------------------------------------------- ddmin

@@ -3,8 +3,11 @@
 Each ``tests/fuzz_corpus/*.json`` file is a ddmin-minimized genome that
 once tripped an invariant oracle.  The fixed code must replay every one
 of them clean; a reappearing violation is a regression of the original
-bug.  The canary case additionally proves the repro is *live*: with the
-hidden canary flag set, the same genome must still trip its oracle.
+bug.  Cases marked ``"mode": "differential"`` replay on both the
+baseline and dssd presets through the same end-state comparison that
+found them.  The canary cases additionally prove their repro is *live*:
+with the matching hidden canary flag set, the same genome must still
+trip its oracle.
 """
 
 import json
@@ -12,7 +15,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.fuzz.canary import CANARY_ENV
+from repro.fuzz.canary import CANARY_ENV, DIFF_CANARY_ENV
 from repro.fuzz.cli import replay_case
 from repro.fuzz.genome import Genome
 
@@ -27,6 +30,7 @@ def _case_id(path: Path) -> str:
 @pytest.mark.parametrize("path", CASES, ids=_case_id)
 def test_committed_repro_replays_clean(path, monkeypatch):
     monkeypatch.delenv(CANARY_ENV, raising=False)
+    monkeypatch.delenv(DIFF_CANARY_ENV, raising=False)
     case = json.loads(path.read_text())
     assert case["schema"] == 1
     assert case["oracle"]
@@ -53,3 +57,20 @@ def test_canary_repro_still_trips_with_flag(path, monkeypatch):
     outcome = replay_case(path)
     violations = [v["oracle"] for v in outcome["violations"]]
     assert case["oracle"] in violations
+
+
+@pytest.mark.parametrize(
+    "path",
+    [p for p in CASES if "arch_divergence_canary" in p.name],
+    ids=_case_id,
+)
+def test_diff_canary_repro_still_trips_with_flag(path, monkeypatch):
+    """The committed differential canary is live: with the hidden
+    baseline-only trim off-by-one installed, the replayed comparison
+    must report the divergence again."""
+    monkeypatch.setenv(DIFF_CANARY_ENV, "1")
+    case = json.loads(path.read_text())
+    assert case["mode"] == "differential"
+    outcome = replay_case(path)
+    violations = [v["oracle"] for v in outcome["violations"]]
+    assert "arch_divergence" in violations

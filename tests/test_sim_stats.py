@@ -50,6 +50,24 @@ def test_latency_stats_pct_validates_fraction_when_empty():
     assert stats.pct(0.99) == 0.0
 
 
+def test_latency_stats_pct_without_samples_raises_named_error():
+    """A sample-free recorder refuses exact percentiles with the named
+    exception (still a ValueError subclass for old callers)."""
+    from repro.errors import SamplesUnavailableError
+
+    stats = LatencyStats("noc", keep_samples=False)
+    stats.add(1.0)
+    with pytest.raises(SamplesUnavailableError, match="noc.*no samples"):
+        stats.pct(0.5)
+    assert issubclass(SamplesUnavailableError, ValueError)
+
+
+def test_latency_stats_pct_with_samples_still_works():
+    stats = LatencyStats("io", keep_samples=True)
+    stats.extend([1.0, 2.0, 3.0])
+    assert stats.pct(0.5) == 2.0
+
+
 @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=200),
        st.floats(min_value=0.0, max_value=1.0))
 def test_percentile_bounded_by_extremes(values, fraction):
