@@ -16,10 +16,16 @@ kernel's scheduled-callback count (``Simulator`` sequence counter, which
 equals the number of executed heap entries once the queue drains) by the
 best-of-N wall time.
 
-The suite also reports ``speedup_vs_callback_path`` where the kernel
-supports the ``direct_resume`` flag: the same kernel workloads re-run
-through the legacy ``Event.callbacks`` wiring, giving an in-situ measure
-of what the fast-resume path buys.
+Schema 2: every workload runs uniformly under every available kernel
+backend (``pure``, ``legacy``, and ``fast`` when the optional compiled
+extension is installed -- see :mod:`repro.sim.backend`), recorded under
+``report["backends"][name]["benchmarks"]``.  The report carries
+provenance (python, CPU model, compiled-backend status) so a baseline
+captured on one host is never silently compared against another;
+``--check`` compares like-for-like backends only and still understands
+committed schema-1 baselines.  The harness also cross-checks that the
+scheduled-event *counts* agree across backends -- a free byte-identity
+smoke on every bench run.
 """
 
 from __future__ import annotations
@@ -30,51 +36,30 @@ import sys
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .sim import Simulator
+from .sim import Simulator, fast_backend_status, make_simulator
 
 __all__ = ["run_benchmarks", "check_regression", "write_report", "main",
-           "BENCH_FILE"]
+           "provenance", "provenance_note", "BENCH_FILE"]
 
 #: Default output / baseline file name (repo root in CI).
 BENCH_FILE = "BENCH_kernel.json"
-
-#: Events/sec measured with this same harness (full mode, best-of-3) at
-#: the pre-PR commit (09b91a4), before the fast-resume kernel and the
-#: fNoC route cache landed.  The event counts were identical then --
-#: the optimizations change wall time only -- so rate ratios are the
-#: per-workload speedups.  Host-specific by nature: refresh alongside
-#: BENCH_kernel.json whenever the reference machine changes.
-PRE_PR_EVENTS_PER_SEC: Dict[str, float] = {
-    "timeout_chain": 242267.1,
-    "event_fanout": 304487.6,
-    "fnoc_storm": 192084.9,
-    "ssd_point": 184380.7,
-}
 
 
 # ---------------------------------------------------------------------------
 # Workloads.  Each returns (events, wall_seconds) for one run.
 # ---------------------------------------------------------------------------
 
-def _make_sim(legacy: bool) -> Simulator:
-    if legacy:
-        return Simulator(direct_resume=False)
-    return Simulator()
+def _make_sim(backend: str) -> Simulator:
+    sim, _resolved = make_simulator(backend)
+    return sim
 
 
-def _supports_legacy_flag() -> bool:
-    try:
-        _make_sim(True)
-    except TypeError:
-        return False
-    return True
-
-
-def bench_timeout_chain(quick: bool, legacy: bool = False) -> Tuple[int, float]:
+def bench_timeout_chain(quick: bool,
+                        backend: str = "pure") -> Tuple[int, float]:
     """The dominant pattern: many processes looping on ``yield timeout``."""
     procs = 100 if quick else 400
     steps = 250 if quick else 1000
-    sim = _make_sim(legacy)
+    sim = _make_sim(backend)
 
     def worker(sim, index, steps):
         delay = 0.5 + (index % 7) * 0.25
@@ -89,11 +74,12 @@ def bench_timeout_chain(quick: bool, legacy: bool = False) -> Tuple[int, float]:
     return sim._seq, wall
 
 
-def bench_event_fanout(quick: bool, legacy: bool = False) -> Tuple[int, float]:
+def bench_event_fanout(quick: bool,
+                       backend: str = "pure") -> Tuple[int, float]:
     """Events with waiters, joins, and AllOf/AnyOf condition churn."""
     rounds = 150 if quick else 600
     width = 8
-    sim = _make_sim(legacy)
+    sim = _make_sim(backend)
 
     def child(sim, delay):
         yield sim.timeout(delay)
@@ -120,7 +106,7 @@ def bench_event_fanout(quick: bool, legacy: bool = False) -> Tuple[int, float]:
     return sim._seq, wall
 
 
-def bench_fnoc_storm(quick: bool, legacy: bool = False) -> Tuple[int, float]:
+def bench_fnoc_storm(quick: bool, backend: str = "pure") -> Tuple[int, float]:
     """Seeded all-to-all packet storm over the paper's default fNoC."""
     import random
 
@@ -131,7 +117,7 @@ def bench_fnoc_storm(quick: bool, legacy: bool = False) -> Tuple[int, float]:
     k = 8
     per_source = 150 if quick else 600
     rng = random.Random(0xF0C)
-    sim = _make_sim(legacy)
+    sim = _make_sim(backend)
     noc = FNoC(sim, Mesh1D(k), channel_bandwidth=1000.0)
     # Pre-draw destinations so RNG order never depends on interleaving.
     plans = [
@@ -155,15 +141,13 @@ def bench_fnoc_storm(quick: bool, legacy: bool = False) -> Tuple[int, float]:
     return sim._seq, wall
 
 
-def bench_ssd_point(quick: bool, legacy: bool = False) -> Tuple[int, float]:
+def bench_ssd_point(quick: bool, backend: str = "pure") -> Tuple[int, float]:
     """One canonical fig-sweep point: dSSD_f under a mixed workload."""
     from .core import build_ssd
     from .workloads import SyntheticWorkload
 
     duration = 10_000.0 if quick else 40_000.0
-    ssd = build_ssd("dssd_f")
-    if legacy:
-        raise NotImplementedError("ssd point runs on the default kernel only")
+    ssd = build_ssd("dssd_f", backend=backend)
     workload = SyntheticWorkload(pattern="mixed", io_size=4096,
                                  read_fraction=0.5)
     t0 = time.perf_counter()
@@ -172,12 +156,12 @@ def bench_ssd_point(quick: bool, legacy: bool = False) -> Tuple[int, float]:
     return ssd.sim._seq, wall
 
 
-#: name -> (callable, supports the legacy kernel flag)
-WORKLOADS: Dict[str, Tuple[Callable[..., Tuple[int, float]], bool]] = {
-    "timeout_chain": (bench_timeout_chain, True),
-    "event_fanout": (bench_event_fanout, True),
-    "fnoc_storm": (bench_fnoc_storm, True),
-    "ssd_point": (bench_ssd_point, False),
+#: name -> workload callable; every workload runs on every backend.
+WORKLOADS: Dict[str, Callable[..., Tuple[int, float]]] = {
+    "timeout_chain": bench_timeout_chain,
+    "event_fanout": bench_event_fanout,
+    "fnoc_storm": bench_fnoc_storm,
+    "ssd_point": bench_ssd_point,
 }
 
 
@@ -185,12 +169,36 @@ WORKLOADS: Dict[str, Tuple[Callable[..., Tuple[int, float]], bool]] = {
 # Harness.
 # ---------------------------------------------------------------------------
 
+def _cpu_model() -> str:
+    """Human-readable CPU model, best effort across platforms."""
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def provenance() -> Dict[str, str]:
+    """Where these numbers came from -- recorded into every report."""
+    available, detail = fast_backend_status()
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu": _cpu_model(),
+        "fast_backend": detail if available else f"unavailable ({detail})",
+    }
+
+
 def _measure(fn: Callable[..., Tuple[int, float]], quick: bool,
-             legacy: bool, repeats: int) -> Dict[str, float]:
+             backend: str, repeats: int) -> Dict[str, float]:
     events = 0
     best = float("inf")
     for _ in range(repeats):
-        run_events, wall = fn(quick, legacy=legacy)
+        run_events, wall = fn(quick, backend=backend)
         events = run_events
         best = min(best, wall)
     return {
@@ -200,65 +208,126 @@ def _measure(fn: Callable[..., Tuple[int, float]], quick: bool,
     }
 
 
+def available_backends() -> List[str]:
+    """Backends the suite measures on this host, reference first."""
+    backends = ["pure", "legacy"]
+    if fast_backend_status()[0]:
+        backends.append("fast")
+    return backends
+
+
 def run_benchmarks(quick: bool = False,
                    repeats: Optional[int] = None) -> Dict[str, Any]:
-    """Run the full suite; returns the report dict (not yet written)."""
+    """Run the full suite; returns the report dict (not yet written).
+
+    Raises ``RuntimeError`` if any workload's deterministic event count
+    disagrees across backends -- that would mean the backends are not
+    observationally equivalent and every equivalence guarantee is void.
+    """
     repeats = repeats if repeats else (2 if quick else 3)
+    backends = available_backends()
     report: Dict[str, Any] = {
-        "schema": 1,
+        "schema": 2,
         "quick": quick,
-        "python": platform.python_version(),
-        "benchmarks": {},
-        "legacy_path": {},
+        "provenance": provenance(),
+        "backends": {name: {"benchmarks": {}} for name in backends},
     }
-    has_legacy = _supports_legacy_flag()
-    for name, (fn, legacy_capable) in WORKLOADS.items():
-        report["benchmarks"][name] = _measure(fn, quick, False, repeats)
-        if has_legacy and legacy_capable:
-            report["legacy_path"][name] = _measure(fn, quick, True, repeats)
+    for name, fn in WORKLOADS.items():
+        for backend in backends:
+            report["backends"][backend]["benchmarks"][name] = \
+                _measure(fn, quick, backend, repeats)
+        counts = {
+            backend: report["backends"][backend]["benchmarks"][name]["events"]
+            for backend in backends
+        }
+        if len(set(counts.values())) != 1:
+            raise RuntimeError(
+                f"backend divergence: workload {name!r} scheduled "
+                f"different event counts per backend: {counts}"
+            )
+    pure = report["backends"]["pure"]["benchmarks"]
     speedups = {}
-    for name, legacy_entry in report["legacy_path"].items():
-        fast = report["benchmarks"][name]["events_per_sec"]
+    for name, legacy_entry in report["backends"]["legacy"]["benchmarks"] \
+            .items():
         slow = legacy_entry["events_per_sec"]
         if slow > 0:
-            speedups[name] = round(fast / slow, 3)
+            speedups[name] = round(pure[name]["events_per_sec"] / slow, 3)
     if speedups:
         report["speedup_vs_callback_path"] = speedups
-    # Pre-PR comparison: only meaningful in full mode, where the pinned
-    # workloads match the configuration the baseline was captured with.
-    if not quick:
-        vs_pre = {}
-        for name, pre_rate in PRE_PR_EVENTS_PER_SEC.items():
-            entry = report["benchmarks"].get(name)
-            if entry and pre_rate > 0:
-                vs_pre[name] = round(entry["events_per_sec"] / pre_rate, 3)
-        if vs_pre:
-            report["speedup_vs_pre_pr"] = vs_pre
-            product = 1.0
-            for ratio in vs_pre.values():
-                product *= ratio
-            report["speedup_geomean"] = round(
-                product ** (1.0 / len(vs_pre)), 3)
+    if "fast" in report["backends"]:
+        fast_speedups = {}
+        for name, entry in report["backends"]["fast"]["benchmarks"].items():
+            base = pure[name]["events_per_sec"]
+            if base > 0:
+                fast_speedups[name] = round(
+                    entry["events_per_sec"] / base, 3)
+        report["speedup_fast_vs_pure"] = fast_speedups
     return report
+
+
+def _backend_tables(report: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Normalize schema 1 or 2 to ``{backend: {workload: entry}}``.
+
+    Schema 1 stored the default-kernel numbers under ``benchmarks`` and
+    the callback-path numbers under ``legacy_path``; schema 2 keys every
+    backend uniformly under ``backends``.
+    """
+    if "backends" in report:
+        return {name: dict(entry.get("benchmarks", {}))
+                for name, entry in report["backends"].items()}
+    tables: Dict[str, Dict[str, Any]] = {}
+    if report.get("benchmarks"):
+        tables["pure"] = dict(report["benchmarks"])
+    if report.get("legacy_path"):
+        tables["legacy"] = dict(report["legacy_path"])
+    return tables
 
 
 def check_regression(current: Dict[str, Any], baseline: Dict[str, Any],
                      tolerance: float = 0.30) -> List[str]:
-    """Names of benchmarks whose events/sec fell below the baseline band."""
+    """Regression descriptions, comparing like-for-like backends only.
+
+    A backend present in the baseline but not measured now (e.g. the
+    baseline host had the compiled extension, this one does not) is
+    skipped -- cross-backend comparison would gate speed claims the
+    current host cannot reproduce.  A *workload* missing inside a shared
+    backend is still a failure.
+    """
     failures = []
-    for name, entry in baseline.get("benchmarks", {}).items():
-        cur = current.get("benchmarks", {}).get(name)
-        if cur is None:
-            failures.append(f"{name}: missing from current run")
+    current_tables = _backend_tables(current)
+    baseline_tables = _backend_tables(baseline)
+    for backend in sorted(baseline_tables):
+        if backend not in current_tables:
             continue
-        floor = (1.0 - tolerance) * entry.get("events_per_sec", 0.0)
-        if cur["events_per_sec"] < floor:
-            failures.append(
-                f"{name}: {cur['events_per_sec']:.0f} events/s < "
-                f"{floor:.0f} (baseline {entry['events_per_sec']:.0f} "
-                f"- {tolerance:.0%})"
-            )
+        observed = current_tables[backend]
+        for name, entry in baseline_tables[backend].items():
+            cur = observed.get(name)
+            label = f"{backend}/{name}"
+            if cur is None:
+                failures.append(f"{label}: missing from current run")
+                continue
+            floor = (1.0 - tolerance) * entry.get("events_per_sec", 0.0)
+            if cur["events_per_sec"] < floor:
+                failures.append(
+                    f"{label}: {cur['events_per_sec']:.0f} events/s < "
+                    f"{floor:.0f} (baseline {entry['events_per_sec']:.0f} "
+                    f"- {tolerance:.0%})"
+                )
     return failures
+
+
+def provenance_note(current: Dict[str, Any],
+                    baseline: Dict[str, Any]) -> Optional[str]:
+    """Warning line when the baseline came from different hardware."""
+    mine = current.get("provenance", {}).get("cpu")
+    theirs = baseline.get("provenance", {}).get("cpu")
+    if theirs is None:
+        return ("baseline has no provenance (schema 1); wall-clock "
+                "comparison may span different hosts")
+    if mine != theirs:
+        return (f"baseline CPU differs: baseline={theirs!r} "
+                f"current={mine!r}; events/sec is host-relative")
+    return None
 
 
 def write_report(report: Dict[str, Any], path: str = BENCH_FILE) -> None:
@@ -273,28 +342,35 @@ def main(quick: bool = False, output: Optional[str] = None,
          repeats: Optional[int] = None) -> int:
     """CLI entry: run, print a table, write JSON, optionally gate."""
     report = run_benchmarks(quick=quick, repeats=repeats)
-    width = max(len(name) for name in report["benchmarks"])
-    print(f"{'benchmark':<{width}} | {'events':>9} | {'wall_s':>8} | "
-          f"{'events/sec':>12}")
-    print("-" * (width + 40))
-    for name, entry in report["benchmarks"].items():
-        print(f"{name:<{width}} | {entry['events']:>9} | "
-              f"{entry['wall_s']:>8.4f} | {entry['events_per_sec']:>12.0f}")
+    tables = _backend_tables(report)
+    width = max(len(name) for table in tables.values() for name in table)
+    bwidth = max(len(name) for name in tables)
+    print(f"{'benchmark':<{width}} | {'backend':<{bwidth}} | "
+          f"{'events':>9} | {'wall_s':>8} | {'events/sec':>12}")
+    print("-" * (width + bwidth + 43))
+    for name in next(iter(tables.values())):
+        for backend, table in tables.items():
+            entry = table.get(name)
+            if entry is None:
+                continue
+            print(f"{name:<{width}} | {backend:<{bwidth}} | "
+                  f"{entry['events']:>9} | {entry['wall_s']:>8.4f} | "
+                  f"{entry['events_per_sec']:>12.0f}")
     for name, ratio in report.get("speedup_vs_callback_path", {}).items():
         print(f"[speedup vs callback path] {name}: {ratio:.2f}x",
               file=sys.stderr)
-    for name, ratio in report.get("speedup_vs_pre_pr", {}).items():
-        print(f"[speedup vs pre-PR kernel] {name}: {ratio:.2f}x",
+    for name, ratio in report.get("speedup_fast_vs_pure", {}).items():
+        print(f"[speedup fast vs pure] {name}: {ratio:.2f}x",
               file=sys.stderr)
-    if "speedup_geomean" in report:
-        print(f"[speedup vs pre-PR kernel] geometric mean: "
-              f"{report['speedup_geomean']:.2f}x", file=sys.stderr)
     if output:
         write_report(report, output)
         print(f"[bench] wrote {output}", file=sys.stderr)
     if check:
         with open(check) as handle:
             baseline = json.load(handle)
+        note = provenance_note(report, baseline)
+        if note:
+            print(f"[bench] NOTE {note}", file=sys.stderr)
         failures = check_regression(report, baseline, tolerance)
         if failures:
             for line in failures:

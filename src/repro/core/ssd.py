@@ -27,7 +27,7 @@ from ..ftl import Ftl, GarbageCollector, GcStats, PageMappingTable, \
 from ..ftl.blocks import BlockManager
 from ..host import MultiQueueFrontend, TenantSpec
 from ..noc import Crossbar, FNoC, Mesh1D, Mesh2D, Ring
-from ..sim import LatencyStats, Simulator
+from ..sim import LatencyStats, make_simulator
 from .config import ArchPreset, SSDConfig
 from .datapath import BaselineDatapath, DecoupledDatapath
 from .transport import (
@@ -176,7 +176,9 @@ class SimulatedSSD:
 
     def __init__(self, config: SSDConfig, remapper=None):
         self.config = config
-        self.sim = Simulator()
+        #: Resolved DES kernel backend ("pure"/"fast"/"legacy") — what
+        #: ``config.backend`` actually got after availability fallback.
+        self.sim, self.kernel_backend = make_simulator(config.backend)
         geometry = config.geometry
         self.backend = FlashBackend(
             self.sim, geometry, config.timing, seed=config.seed,

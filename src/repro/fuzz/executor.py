@@ -101,6 +101,12 @@ def build_config(config: GenomeConfig) -> SSDConfig:
         gc_reserve_blocks=1,
         flush_workers=4,
         seed=DEVICE_SEED,
+        # Pinned (never "auto"): edge coverage traces interpreter frames
+        # via settrace/sys.monitoring, and compiled-backend frames are
+        # invisible to both.  Running fuzz executions on the fast
+        # backend would silently collapse coverage — and corpus hashes
+        # must be identical whatever REPRO_DSSD_BACKEND says.
+        backend="pure",
     )
 
 

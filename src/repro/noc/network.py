@@ -78,6 +78,50 @@ class _HopRelease:
             self.pool_b.release(self.tokens_b)
 
 
+def _build_hop_schedule(hops, flits):
+    """Precompute the per-hop walk for one ``(route, flit count)`` pair.
+
+    Everything the old per-packet hop loop decided — credit counts, which
+    releases ride which channel's ``done`` event, which credits carry to
+    the next hop — depends only on the route's resources and the packet's
+    flit count, so it is computed once and cached.  The completion
+    bookkeeping per hop rides a single :class:`_HopRelease`: the wormhole
+    guard, the credits held at the *previous* router (they drain as this
+    channel serializes the tail out of it), and — with a deep buffer —
+    this hop's own credits, freed when the whole packet is absorbed
+    downstream (virtual cut-through).  A shallow buffer instead carries
+    its credits to the next hop (wormhole coupling — downstream stalls
+    propagate upstream).
+
+    Returns ``(steps, final_held)``: *steps* is a tuple of
+    ``(guard, pool, tokens, link, release)`` per hop (*release* may be
+    None), and *final_held* is the ``(pool, tokens)`` still held when the
+    tail reaches the destination, or None.  The ``_HopRelease`` instances
+    are stateless and safely shared by every packet using this schedule.
+    """
+    steps = []
+    held = None
+    for pool, link, guard in hops:
+        capacity = pool.capacity
+        tokens = flits if flits < capacity else capacity
+        if tokens >= flits:
+            if held is not None:
+                release = _HopRelease(guard, held[0], held[1], pool, tokens)
+            else:
+                release = _HopRelease(guard, pool, tokens)
+            held = None
+        else:
+            if guard is not None or held is not None:
+                prev_pool, prev_tokens = held if held is not None \
+                    else (None, 0)
+                release = _HopRelease(guard, prev_pool, prev_tokens)
+            else:
+                release = None
+            held = (pool, tokens)
+        steps.append((guard, pool, tokens, link, release))
+    return tuple(steps), held
+
+
 class FNoC:
     """The flash-controller interconnect.
 
@@ -147,20 +191,24 @@ class FNoC:
         self.flit_time = flit_bytes / channel_bandwidth
         self._header_step = self.flit_time + router_latency_us
         # All-pairs route table, built once: (path, hop_count,
-        # serialization resources per hop).  Each hop entry carries the
-        # already-resolved (credit pool, channel link, wormhole guard)
-        # triple so the per-packet path involves no dict lookups.
+        # serialization resources per hop, hop-schedule cache).  Each hop
+        # entry carries the already-resolved (credit pool, channel link,
+        # wormhole guard) triple so the per-packet path involves no dict
+        # lookups; the schedule cache (flit count -> precomputed walk,
+        # see :func:`_build_hop_schedule`) fills lazily as packet sizes
+        # appear.
         self._routes: Dict[Tuple[int, int],
-                           Tuple[List[int], int, Tuple]] = {}
+                           Tuple[List[int], int, Tuple, dict]] = {}
         for (src, dst), (path, vc) in topology.routes().items():
             hops = tuple(
                 (self._ports[(u, v, vc)], self._channels[(u, v)],
                  self._guards.get((u, v)))
                 for u, v in zip(path, path[1:])
             )
-            self._routes[(src, dst)] = (path, len(path) - 1, hops)
-        #: payload_bytes -> flit count (page-sized payloads dominate).
-        self._flit_cache: Dict[int, int] = {}
+            self._routes[(src, dst)] = (path, len(path) - 1, hops, {})
+        #: payload_bytes -> (flit count, wire bytes); page-sized payloads
+        #: dominate so this saturates at a handful of entries.
+        self._flit_cache: Dict[int, Tuple[int, int]] = {}
 
         self.packet_latency = LatencyStats("fnoc_packet",
                                            keep_samples=False)
@@ -192,7 +240,7 @@ class FNoC:
         t_begin = sim.now
         packet.created_at = t_begin
         try:
-            path, hop_count, hop_resources = \
+            path, hop_count, hop_resources, schedules = \
                 self._routes[(packet.src, packet.dst)]
         except KeyError:
             # Out-of-range node: reproduce the topology's ConfigError.
@@ -209,19 +257,23 @@ class FNoC:
             return NocBreakdown(0.0, 0.0, 0.0, total, 0)
 
         payload = packet.payload_bytes
-        flits = self._flit_cache.get(payload)
-        if flits is None:
-            flits = self._flit_cache[payload] = flit_count(
-                payload, self.flit_bytes, self.header_bytes)
-        wire_bytes = flits * self.flit_bytes
+        cached = self._flit_cache.get(payload)
+        if cached is None:
+            flits = flit_count(payload, self.flit_bytes, self.header_bytes)
+            cached = self._flit_cache[payload] = (
+                flits, flits * self.flit_bytes)
+        flits, wire_bytes = cached
+        schedule = schedules.get(flits)
+        if schedule is None:
+            schedule = schedules[flits] = _build_hop_schedule(
+                hop_resources, flits)
+        steps, final_held = schedule
         header_step = self._header_step
         traffic_class = packet.traffic_class
 
         queue_wait = 0.0
-        held: Optional[Tuple[TokenPool, int]] = None
         last_done = None
-        for pool, link, guard in hop_resources:
-            tokens = flits if flits < pool.capacity else pool.capacity
+        for guard, pool, tokens, link, release in steps:
             t_request = sim.now
             if guard is not None:
                 # Wormhole: win the channel first, then wait for credits
@@ -231,28 +283,10 @@ class FNoC:
             start, done = link.transfer_with_start(wire_bytes, traffic_class)
             yield start
             queue_wait += sim.now - t_request
-            # All of this hop's completion bookkeeping rides one callback:
-            # the wormhole guard, the credits held at the *previous* router
-            # (they drain as this channel serializes the tail out of it),
-            # and -- with a deep buffer -- this hop's own credits, freed
-            # when the whole packet is absorbed downstream (virtual
-            # cut-through).  A shallow buffer instead carries its credits
-            # to the next hop (wormhole coupling -- downstream stalls
-            # propagate upstream).
-            if tokens >= flits:
-                if held is not None:
-                    done.add_callback(_HopRelease(
-                        guard, held[0], held[1], pool, tokens))
-                else:
-                    done.add_callback(_HopRelease(guard, pool, tokens))
-                held = None
-            else:
-                if guard is not None or held is not None:
-                    prev_pool, prev_tokens = held if held is not None \
-                        else (None, 0)
-                    done.add_callback(_HopRelease(
-                        guard, prev_pool, prev_tokens))
-                held = (pool, tokens)
+            # Completion bookkeeping was precomputed into one shared
+            # callback per hop (see _build_hop_schedule).
+            if release is not None:
+                done.add_callback(release)
             last_done = done
             # Forward the header while the tail is still serializing.
             yield sim.timeout(header_step)
@@ -260,8 +294,8 @@ class FNoC:
         # Wait for the tail to fully arrive at the destination router,
         # then eject into the dBUF (credits return immediately).
         yield last_done
-        if held is not None:
-            held[0].release(held[1])
+        if final_held is not None:
+            final_held[0].release(final_held[1])
 
         total = sim.now - t_begin
         serialization = flits * self.flit_time

@@ -1,0 +1,127 @@
+"""Kernel backend selection: pure Python, compiled twin, or legacy.
+
+The DES kernel ships as canonical pure-Python source
+(:mod:`repro.sim.kernel`).  ``tools/build_fast_backend.py`` can compile
+a byte-identical twin of that module with mypyc (or Cython) into the
+optional extension module ``repro.sim._kernel_fast``; when present, the
+``fast`` backend instantiates the twin's ``Simulator`` instead.  Both
+backends produce identical simulated timing — the twin is *generated
+from* ``kernel.py``, never hand-edited — so experiment outputs are
+byte-identical and the equivalence suite runs against both.
+
+Backend names:
+
+``auto``
+    Default.  Consults the ``REPRO_DSSD_BACKEND`` environment variable
+    (so ``repro --backend fast`` propagates into worker processes),
+    then picks ``fast`` when the compiled module is importable and
+    actually compiled, else ``pure``.
+``pure``
+    The canonical interpreter kernel.  Explicitly pinning ``pure``
+    (as the fuzz executor does) wins over the environment variable:
+    coverage tracing cannot see compiled frames, so the fuzzer must
+    never silently run compiled.
+``fast``
+    The compiled twin.  Falls back to ``pure`` with a one-time stderr
+    warning when the extension is absent — a missing optional build
+    must never change results, only speed.
+``legacy``
+    ``Simulator(direct_resume=False)``: the PR-4 callback-list path,
+    kept as the in-tree equivalence oracle and benchmark baseline.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+import sys
+from typing import Tuple
+
+from .kernel import Simulator
+
+__all__ = [
+    "BACKENDS",
+    "ENV_VAR",
+    "FAST_MODULE",
+    "fast_backend_status",
+    "resolve_backend",
+    "make_simulator",
+]
+
+#: Recognised backend names, in documentation order.
+BACKENDS = ("auto", "pure", "fast", "legacy")
+
+#: Environment override consulted when the requested backend is "auto".
+ENV_VAR = "REPRO_DSSD_BACKEND"
+
+#: Dotted name of the optional compiled twin extension.
+FAST_MODULE = "repro.sim._kernel_fast"
+
+_warned_missing_fast = False
+
+
+def fast_backend_status() -> Tuple[bool, str]:
+    """``(available, detail)`` for the compiled backend.
+
+    Available only when :data:`FAST_MODULE` resolves to a real compiled
+    extension (``.so``/``.pyd``).  A stray interpreted
+    ``_kernel_fast.py`` (e.g. a build that copied the source but never
+    compiled) is rejected: running the twin through the interpreter
+    would silently report ``fast`` while delivering ``pure`` speed.
+    """
+    try:
+        spec = importlib.util.find_spec(FAST_MODULE)
+    except (ImportError, ValueError):
+        return False, f"{FAST_MODULE} not importable"
+    if spec is None:
+        return False, f"{FAST_MODULE} not installed (optional build)"
+    origin = spec.origin or ""
+    if not origin.endswith((".so", ".pyd")):
+        return False, f"{FAST_MODULE} present but not compiled: {origin}"
+    return True, origin
+
+
+def resolve_backend(requested: str = "auto") -> str:
+    """Resolve *requested* to a concrete backend name.
+
+    ``auto`` consults :data:`ENV_VAR` and then availability; explicit
+    names win over the environment.  An explicit ``fast`` request
+    degrades to ``pure`` (with a one-time warning) when the compiled
+    module is absent; every other name resolves to itself.
+    """
+    global _warned_missing_fast
+    if requested == "auto":
+        requested = os.environ.get(ENV_VAR, "auto").strip() or "auto"
+    if requested not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {requested!r}; "
+            f"available: {', '.join(BACKENDS)}"
+        )
+    if requested == "auto":
+        return "fast" if fast_backend_status()[0] else "pure"
+    if requested == "fast":
+        available, detail = fast_backend_status()
+        if not available:
+            if not _warned_missing_fast:
+                _warned_missing_fast = True
+                print(f"repro: fast kernel backend unavailable "
+                      f"({detail}); falling back to pure",
+                      file=sys.stderr)
+            return "pure"
+    return requested
+
+
+def make_simulator(backend: str = "auto") -> Tuple[Simulator, str]:
+    """Build a simulator for *backend*; returns ``(sim, resolved)``.
+
+    *resolved* is the concrete backend actually in use (``pure``,
+    ``fast``, or ``legacy``) so callers can record provenance.
+    """
+    resolved = resolve_backend(backend)
+    if resolved == "fast":
+        module = importlib.import_module(FAST_MODULE)
+        return module.Simulator(), "fast"
+    if resolved == "legacy":
+        return Simulator(direct_resume=False), "legacy"
+    return Simulator(), "pure"

@@ -74,7 +74,7 @@ class Resource:
         the label is cleared precisely; a plain :meth:`release` drops
         the oldest label, which is best-effort only.
         """
-        grant = Event(self.sim)
+        grant = self.sim.event()
         if owner:
             self._owners[grant] = owner
         if self._in_use < self.capacity:
@@ -184,7 +184,7 @@ class TokenPool:
             raise ValueError(
                 f"request of {n} tokens exceeds capacity {self.capacity}"
             )
-        grant = Event(self.sim)
+        grant = self.sim.event()
         if owner:
             self._owners[grant] = owner
         if not self._waiters and self._available >= n:
@@ -298,6 +298,9 @@ class Link:
         self.busy_time: dict = {}
         self.bytes_moved: dict = {}
         self.wait_stats: dict = {}
+        # One bound method reused for every completion push instead of a
+        # fresh allocation per transfer in _start.
+        self._finish_cb = self._finish
 
     @property
     def queue_length(self) -> int:
@@ -333,7 +336,7 @@ class Link:
         """
         if nbytes <= 0:
             raise ValueError(f"transfer size must be positive, got {nbytes}")
-        done = Event(self.sim)
+        done = self.sim.event()
         item = Transfer(nbytes, traffic_class, priority, done, self.sim._now)
         if self._busy:
             self._seq += 1
@@ -353,8 +356,8 @@ class Link:
         """
         if nbytes <= 0:
             raise ValueError(f"transfer size must be positive, got {nbytes}")
-        done = Event(self.sim)
-        start = Event(self.sim)
+        done = self.sim.event()
+        start = self.sim.event()
         item = Transfer(nbytes, traffic_class, priority, done, self.sim._now,
                         start_event=start)
         if self._busy:
@@ -385,14 +388,16 @@ class Link:
             bins = self.byte_bins[cls] = TimeBins(self.busy_bins.width)
         bins.add(start, nbytes)
         sim._seq = seq = sim._seq + 1
-        heappush(sim._queue, (end, seq, self._finish, (item,)))
+        heappush(sim._queue, (end, seq, self._finish_cb, (item,)))
 
     def _finish(self, item: Transfer) -> None:
         self._busy = False
         started = item.started_at
         wait = (started if started is not None else item.enqueued_at) \
             - item.enqueued_at
-        stats = self.wait_stats.setdefault(item.traffic_class, [0, 0.0])
+        stats = self.wait_stats.get(item.traffic_class)
+        if stats is None:
+            stats = self.wait_stats[item.traffic_class] = [0, 0.0]
         stats[0] += 1
         stats[1] += wait
         if self._queue:
@@ -500,7 +505,7 @@ class Store:
 
     def get(self) -> Event:
         """Event that fires with the next available item."""
-        evt = Event(self.sim)
+        evt = self.sim.event()
         if self._items:
             evt.trigger(self._items.popleft())
         else:

@@ -295,6 +295,33 @@ def test_fuzz_is_deterministic_across_runs_and_jobs():
     assert run_fuzz(seed=8, execs=24).corpus_hash not in hashes
 
 
+def test_corpus_hash_is_backend_independent(monkeypatch):
+    """The fuzzer pins the pure kernel whatever the environment says.
+
+    Coverage tracing (settrace/sys.monitoring) cannot see compiled
+    frames, so an execution on the fast backend would silently lose
+    edges -- and the corpus hash would depend on which build the host
+    happened to have.  ``build_config`` must therefore hard-pin "pure",
+    and the campaign must hash identically under every backend request.
+    """
+    from repro.fuzz.executor import build_config
+    from repro.fuzz.genome import GenomeConfig
+
+    reports = {}
+    for requested in ("fast", "pure", None):
+        if requested is None:
+            monkeypatch.delenv("REPRO_DSSD_BACKEND", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_DSSD_BACKEND", requested)
+        assert build_config(GenomeConfig()).backend == "pure"
+        reports[requested] = run_fuzz(seed=7, execs=24, jobs=1)
+    hashes = {r.corpus_hash for r in reports.values()}
+    assert len(hashes) == 1, (
+        f"corpus hash depends on REPRO_DSSD_BACKEND: "
+        f"{ {k: r.corpus_hash[:16] for k, r in reports.items()} }")
+    assert len({r.distinct_edges for r in reports.values()}) == 1
+
+
 # ---------------------------------------------------------------- canary
 
 

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Build the optional compiled DES kernel backend.
+
+Generates ``src/repro/sim/_kernel_fast.py`` as a byte-for-byte twin of
+the canonical ``kernel.py`` (plus a generated-file banner), compiles it
+with **mypyc** (or **Cython** with ``--cython``) into the extension
+module ``repro.sim._kernel_fast``, and deletes the intermediate ``.py``
+so the interpreter can never silently import an uncompiled twin (the
+backend resolver rejects non-``.so`` origins anyway; see
+``repro/sim/backend.py``).
+
+The twin is *generated*, never hand-edited: the pure-Python module stays
+the single source of truth, and both backends execute the same
+scheduling logic -- which is what makes the byte-identical-timing
+guarantee a structural property rather than a testing aspiration.
+
+Usage::
+
+    python tools/build_fast_backend.py            # mypyc, else Cython
+    python tools/build_fast_backend.py --cython   # force Cython
+    python tools/build_fast_backend.py --check    # report status only
+
+Exit codes: 0 built (or ``--check`` found it installed), 3 no compiler
+toolchain available (CI interprets this as *skip*, not failure),
+1 anything else.
+"""
+
+from __future__ import annotations
+
+import argparse
+import py_compile
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SIM_DIR = REPO / "src" / "repro" / "sim"
+KERNEL = SIM_DIR / "kernel.py"
+TWIN = SIM_DIR / "_kernel_fast.py"
+
+BANNER = (
+    '"""GENERATED twin of repro.sim.kernel -- do not edit.\n\n'
+    "Produced by tools/build_fast_backend.py for compilation into the\n"
+    "optional fast backend extension; the canonical source of truth is\n"
+    "kernel.py.  Regenerate instead of editing.\n"
+    '"""\n'
+)
+
+
+def generate_twin() -> Path:
+    """Write the twin module source; returns its path."""
+    source = KERNEL.read_text()
+    TWIN.write_text(BANNER + source)
+    # Fail here, not deep inside a compiler, if the twin is unparsable.
+    py_compile.compile(str(TWIN), doraise=True)
+    return TWIN
+
+
+def _clean_intermediates() -> None:
+    TWIN.unlink(missing_ok=True)
+    for leftover in (SIM_DIR / "_kernel_fast.c",):
+        leftover.unlink(missing_ok=True)
+
+
+def _built_extensions() -> list:
+    return sorted(SIM_DIR.glob("_kernel_fast.*.so")) + \
+        sorted(SIM_DIR.glob("_kernel_fast.*.pyd")) + \
+        sorted(SIM_DIR.glob("_kernel_fast.pyd"))
+
+
+def build_mypyc() -> int:
+    """Compile the twin with mypyc in-place; 0 on success, 3 if absent."""
+    try:
+        import mypyc  # noqa: F401
+    except ImportError:
+        print("[build-fast] mypyc not installed", file=sys.stderr)
+        return 3
+    generate_twin()
+    # ``python -m mypyc`` drives setuptools build_ext --inplace itself;
+    # run from src/ so the module is compiled under its package name.
+    result = subprocess.run(
+        [sys.executable, "-m", "mypyc", "repro/sim/_kernel_fast.py"],
+        cwd=REPO / "src",
+    )
+    shutil.rmtree(REPO / "src" / ".mypy_cache", ignore_errors=True)
+    shutil.rmtree(REPO / "src" / "build", ignore_errors=True)
+    return 0 if result.returncode == 0 else 1
+
+
+def build_cython() -> int:
+    """Compile the twin with Cython in-place; 0 on success, 3 if absent."""
+    try:
+        from Cython.Build import cythonize  # noqa: F401
+    except ImportError:
+        print("[build-fast] Cython not installed", file=sys.stderr)
+        return 3
+    generate_twin()
+    result = subprocess.run(
+        [sys.executable, "-c",
+         "import sys; from setuptools import setup; "
+         "from Cython.Build import cythonize; "
+         "sys.argv = ['setup.py', 'build_ext', '--inplace']; "
+         "setup(ext_modules=cythonize('repro/sim/_kernel_fast.py', "
+         "language_level=3))"],
+        cwd=REPO / "src",
+    )
+    shutil.rmtree(REPO / "src" / "build", ignore_errors=True)
+    return 0 if result.returncode == 0 else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cython", action="store_true",
+                        help="compile with Cython instead of mypyc")
+    parser.add_argument("--check", action="store_true",
+                        help="report whether the compiled backend is "
+                             "installed; build nothing")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.sim.backend import fast_backend_status
+        available, detail = fast_backend_status()
+        print(f"[build-fast] {'installed' if available else 'absent'}: "
+              f"{detail}")
+        return 0 if available else 3
+
+    try:
+        if args.cython:
+            code = build_cython()
+        else:
+            code = build_mypyc()
+            if code == 3:
+                print("[build-fast] falling back to Cython",
+                      file=sys.stderr)
+                code = build_cython()
+    finally:
+        _clean_intermediates()
+    if code == 0:
+        built = _built_extensions()
+        if not built:
+            print("[build-fast] compiler reported success but no "
+                  "extension was produced", file=sys.stderr)
+            return 1
+        print(f"[build-fast] built {built[0].relative_to(REPO)}")
+        # Smoke: the resolver must actually pick it up.
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.sim.backend import make_simulator
+        sim, resolved = make_simulator("fast")
+        if resolved != "fast":
+            print("[build-fast] built but resolver still reports "
+                  f"{resolved!r}", file=sys.stderr)
+            return 1
+    elif code == 3:
+        print("[build-fast] no compiler toolchain (mypyc or Cython); "
+              "skipping optional build", file=sys.stderr)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
