@@ -26,23 +26,35 @@ captured on one host is never silently compared against another;
 committed schema-1 baselines.  The harness also cross-checks that the
 scheduled-event *counts* agree across backends -- a free byte-identity
 smoke on every bench run.
+
+``--check`` prints a per-workload delta table (baseline vs current
+events/sec, percent change, the gate's pass/fail verdict) before the
+exit-code decision, and every full (non-``--quick``) run appends its
+schema-2 report plus the git commit to ``benchmarks/history.jsonl`` so
+the perf timeline survives baseline overwrites (``load_history``).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .sim import Simulator, fast_backend_status, make_simulator
 
-__all__ = ["run_benchmarks", "check_regression", "write_report", "main",
-           "provenance", "provenance_note", "BENCH_FILE"]
+__all__ = ["run_benchmarks", "check_regression", "delta_table",
+           "write_report", "append_history", "load_history", "main",
+           "provenance", "provenance_note", "BENCH_FILE", "HISTORY_FILE"]
 
 #: Default output / baseline file name (repo root in CI).
 BENCH_FILE = "BENCH_kernel.json"
+
+#: Append-only JSONL log of full (non-quick) runs, one record per run.
+HISTORY_FILE = "benchmarks/history.jsonl"
 
 
 # ---------------------------------------------------------------------------
@@ -110,7 +122,6 @@ def bench_fnoc_storm(quick: bool, backend: str = "pure") -> Tuple[int, float]:
     """Seeded all-to-all packet storm over the paper's default fNoC."""
     import random
 
-    from .noc.network import FNoC
     from .noc.packet import Packet
     from .noc.topology import Mesh1D
 
@@ -118,7 +129,7 @@ def bench_fnoc_storm(quick: bool, backend: str = "pure") -> Tuple[int, float]:
     per_source = 150 if quick else 600
     rng = random.Random(0xF0C)
     sim = _make_sim(backend)
-    noc = FNoC(sim, Mesh1D(k), channel_bandwidth=1000.0)
+    noc = sim.fnoc(Mesh1D(k), channel_bandwidth=1000.0)
     # Pre-draw destinations so RNG order never depends on interleaving.
     plans = [
         [(rng.randrange(k - 1), rng.choice((4096, 8192, 16384)))
@@ -316,6 +327,90 @@ def check_regression(current: Dict[str, Any], baseline: Dict[str, Any],
     return failures
 
 
+def delta_table(current: Dict[str, Any], baseline: Dict[str, Any],
+                tolerance: float = 0.30) -> str:
+    """Per-workload baseline-vs-current comparison, as printable text.
+
+    One row per ``(backend, workload)`` in the baseline: baseline and
+    current events/sec, percent change, and the verdict the regression
+    gate applies (``FAIL`` below ``(1 - tolerance) x baseline``).  A
+    backend the current host did not measure is marked ``skip``, never
+    ``FAIL`` -- mirroring :func:`check_regression` exactly, so the table
+    is the human-readable form of the gate's decision.
+    """
+    current_tables = _backend_tables(current)
+    baseline_tables = _backend_tables(baseline)
+    rows: List[Tuple[str, str, str, str, str]] = []
+    for backend in sorted(baseline_tables):
+        measured = current_tables.get(backend)
+        for name in sorted(baseline_tables[backend]):
+            base = baseline_tables[backend][name].get("events_per_sec", 0.0)
+            label = f"{base:.0f}"
+            if measured is None:
+                rows.append((backend, name, label, "-",
+                             "skip (backend not measured)"))
+                continue
+            entry = measured.get(name)
+            if entry is None:
+                rows.append((backend, name, label, "-", "FAIL (missing)"))
+                continue
+            cur = entry["events_per_sec"]
+            delta = f"{(cur - base) / base * 100.0:+.1f}%" if base > 0 \
+                else "n/a"
+            ok = cur >= (1.0 - tolerance) * base
+            rows.append((backend, name, label, f"{cur:.0f}",
+                         f"{delta} {'ok' if ok else 'FAIL'}"))
+    headers = ("backend", "workload", "base ev/s", "now ev/s", "delta")
+    widths = [max(len(headers[col]), *(len(row[col]) for row in rows))
+              if rows else len(headers[col]) for col in range(5)]
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             "-+-".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w)
+                                for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _git_sha() -> str:
+    """Commit hash for history provenance; best effort, never raises."""
+    try:
+        proc = subprocess.run(["git", "rev-parse", "HEAD"],
+                              capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def append_history(report: Dict[str, Any],
+                   path: str = HISTORY_FILE) -> Dict[str, Any]:
+    """Append one run record to the JSONL history; returns the record.
+
+    The record is the full schema-2 report plus the git commit it was
+    measured at, so a perf timeline can be reconstructed offline
+    (``load_history``) without re-running anything.
+    """
+    record: Dict[str, Any] = {"git_sha": _git_sha()}
+    record.update(report)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_history(path: str = HISTORY_FILE) -> List[Dict[str, Any]]:
+    """Parse the bench history JSONL (blank lines tolerated)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
 def provenance_note(current: Dict[str, Any],
                     baseline: Dict[str, Any]) -> Optional[str]:
     """Warning line when the baseline came from different hardware."""
@@ -339,8 +434,13 @@ def write_report(report: Dict[str, Any], path: str = BENCH_FILE) -> None:
 
 def main(quick: bool = False, output: Optional[str] = None,
          check: Optional[str] = None, tolerance: float = 0.30,
-         repeats: Optional[int] = None) -> int:
-    """CLI entry: run, print a table, write JSON, optionally gate."""
+         repeats: Optional[int] = None, history: bool = True) -> int:
+    """CLI entry: run, print a table, write JSON, optionally gate.
+
+    Full (non-``quick``) runs are also appended to
+    :data:`HISTORY_FILE` unless *history* is false; quick runs never
+    are (CI smoke numbers would drown the timeline in noise).
+    """
     report = run_benchmarks(quick=quick, repeats=repeats)
     tables = _backend_tables(report)
     width = max(len(name) for table in tables.values() for name in table)
@@ -365,12 +465,18 @@ def main(quick: bool = False, output: Optional[str] = None,
     if output:
         write_report(report, output)
         print(f"[bench] wrote {output}", file=sys.stderr)
+    if not quick and history:
+        record = append_history(report)
+        print(f"[bench] appended run at {record['git_sha'][:12]} to "
+              f"{HISTORY_FILE}", file=sys.stderr)
     if check:
         with open(check) as handle:
             baseline = json.load(handle)
         note = provenance_note(report, baseline)
         if note:
             print(f"[bench] NOTE {note}", file=sys.stderr)
+        print()
+        print(delta_table(report, baseline, tolerance))
         failures = check_regression(report, baseline, tolerance)
         if failures:
             for line in failures:

@@ -15,6 +15,8 @@ Usage::
     python -m repro bench --quick --check BENCH_kernel.json   # CI perf gate
     python -m repro fuzz --smoke         # coverage-guided fuzzer, CI gate
     python -m repro fuzz repro case.json # replay a minimized fuzz repro
+    python -m repro profile ssd_point    # cProfile a bench workload
+    python -m repro profile ssd_point --svg flame.svg   # + icicle chart
 
 Sweep points fan out over ``--jobs`` worker processes (default: every
 CPU core) and completed points are cached under ``~/.cache/repro-dssd/``
@@ -46,6 +48,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # experiment parser can reject its flags.
         from .fuzz.cli import main as fuzz_main
         return fuzz_main(raw[1:])
+    if raw and raw[0] == "profile":
+        # Same hand-off pattern: the profiler's flags are its own.
+        from .profile import main as profile_main
+        return profile_main(raw[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-dssd",
@@ -116,6 +122,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="bench: best-of-N wall-time measurement "
              "(default: 3, or 2 with --quick)",
     )
+    bench_group.add_argument(
+        "--no-history", action="store_true",
+        help="bench: do not append full runs to benchmarks/history.jsonl",
+    )
     args = parser.parse_args(argv)
 
     if args.backend is not None:
@@ -132,6 +142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             check=args.check,
             tolerance=args.tolerance,
             repeats=args.repeats,
+            history=not args.no_history,
         )
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \

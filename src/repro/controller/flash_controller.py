@@ -10,13 +10,23 @@ Order of phases follows ONFI:
 * read:    array read (cell -> page register), then bus transfer out;
 * program: bus transfer in (register load), then array program;
 * erase:   array only, no data on the bus.
+
+Hot-path layout: ``read_page`` / ``program_page`` are dispatchers.  When
+no fault injector is attached (the common case) they return a *flat*
+generator that resolves the plane grant, the array timeout, and the
+channel transfer in a single frame -- the events pushed into the kernel
+are identical to the layered ``backend.read`` -> ``plane.occupy`` chain
+(same order, same times, same sequence numbers), only the Python
+generator frames between them are gone.  With an injector attached the
+original layered generators run unchanged (``use_flat_path = False``
+forces them everywhere, for equivalence testing).
 """
 
 from __future__ import annotations
 
 from typing import Generator, List, Sequence
 
-from ..errors import AddressError
+from ..errors import AddressError, FlashError
 from ..flash import FlashBackend, FlashChannel, PhysAddr
 from ..sim import Simulator
 from .breakdown import Breakdown
@@ -27,6 +37,11 @@ __all__ = ["FlashController"]
 class FlashController:
     """Datapath engine for one flash channel."""
 
+    #: Route page ops through the single-frame fast path when no fault
+    #: injector is attached.  Class-level switch so tests can force the
+    #: layered generator chain and assert byte-identical traces.
+    use_flat_path = True
+
     def __init__(self, sim: Simulator, controller_id: int,
                  channel: FlashChannel, backend: FlashBackend):
         self.sim = sim
@@ -34,6 +49,7 @@ class FlashController:
         self.channel = channel
         self.backend = backend
         self.geometry = backend.geometry
+        self._page_size = backend.geometry.page_size
         self.pages_read = 0
         self.pages_programmed = 0
         self.blocks_erased = 0
@@ -76,6 +92,63 @@ class FlashController:
         fault forces the bus transfer to be repeated, each after a
         detection timeout with exponential backoff.
         """
+        if self.use_flat_path and self.fault_injector is None:
+            return self._read_page_flat(addr, traffic_class, breakdown,
+                                        priority)
+        return self._read_page_gen(addr, traffic_class, breakdown, priority)
+
+    def _read_page_flat(self, addr: PhysAddr, traffic_class: str,
+                        breakdown: Breakdown,
+                        priority: int) -> Generator:
+        """Single-frame read: plane grant + array timeout + bus transfer.
+
+        Event-for-event identical to :meth:`_read_page_gen` without a
+        fault injector -- same heap pushes in the same order -- with the
+        ``backend.read`` -> ``plane.occupy`` generator frames inlined.
+        """
+        sim = self.sim
+        self._check_owns(addr)
+        if breakdown is None:
+            breakdown = Breakdown()
+        backend = self.backend
+        backend.geometry.validate(addr)
+        plane_id = backend._plane_id(addr)
+        if backend.enforce_discipline:
+            state = backend._block_state_at(
+                plane_id * backend._blocks_per_plane + addr[4])
+            if addr[5] not in state.programmed:
+                raise FlashError(f"read of unwritten page {addr}")
+        duration = (backend._read_mid if backend.deterministic_timing
+                    else backend.timing.sample_read(backend._rng))
+        plane = backend.planes[plane_id]
+        t_request = sim.now
+        grant = plane.resource.request()
+        service_start = None
+        try:
+            yield grant
+            service_start = sim.now
+            yield sim.timeout(duration)
+        finally:
+            if service_start is not None:
+                plane.busy_time += sim.now - service_start
+                plane.op_counts["read"] = plane.op_counts.get("read", 0) + 1
+            plane.resource.cancel(grant)
+        breakdown.add("flash_chip", (service_start - t_request) + duration)
+        channel = self.channel
+        if priority is None:
+            priority = -1 if traffic_class == "gc" else 0
+        t0 = sim.now
+        yield channel.link.transfer(
+            self._page_size + channel._overhead_bytes, traffic_class,
+            priority)
+        breakdown.add("flash_bus", sim.now - t0)
+        self.pages_read += 1
+        return breakdown
+
+    def _read_page_gen(self, addr: PhysAddr, traffic_class: str,
+                       breakdown: Breakdown,
+                       priority: int) -> Generator:
+        """Layered read chain (fault-retry capable slow path)."""
         self._check_owns(addr)
         breakdown = breakdown if breakdown is not None else Breakdown()
         injector = self.fault_injector
@@ -110,6 +183,61 @@ class FlashController:
         A transient channel fault repeats the register load (retry with
         backoff); the array program itself is issued exactly once.
         """
+        if self.use_flat_path and self.fault_injector is None:
+            return self._program_page_flat(addr, traffic_class, breakdown,
+                                           priority)
+        return self._program_page_gen(addr, traffic_class, breakdown,
+                                      priority)
+
+    def _program_page_flat(self, addr: PhysAddr, traffic_class: str,
+                           breakdown: Breakdown,
+                           priority: int) -> Generator:
+        """Single-frame program: bus transfer + plane grant + timeout."""
+        sim = self.sim
+        self._check_owns(addr)
+        if breakdown is None:
+            breakdown = Breakdown()
+        channel = self.channel
+        if priority is None:
+            priority = -1 if traffic_class == "gc" else 0
+        t0 = sim.now
+        yield channel.link.transfer(
+            self._page_size + channel._overhead_bytes, traffic_class,
+            priority)
+        breakdown.add("flash_bus", sim.now - t0)
+        backend = self.backend
+        backend.geometry.validate(addr)
+        plane_id = backend._plane_id(addr)
+        if backend.enforce_discipline:
+            state = backend._block_state_at(
+                plane_id * backend._blocks_per_plane + addr[4])
+            if addr[5] in state.programmed:
+                raise FlashError(f"reprogram of page {addr} without erase")
+            state.programmed.add(addr[5])
+        duration = (backend._program_mid if backend.deterministic_timing
+                    else backend.timing.sample_program(backend._rng))
+        plane = backend.planes[plane_id]
+        t_request = sim.now
+        grant = plane.resource.request()
+        service_start = None
+        try:
+            yield grant
+            service_start = sim.now
+            yield sim.timeout(duration)
+        finally:
+            if service_start is not None:
+                plane.busy_time += sim.now - service_start
+                plane.op_counts["program"] = (
+                    plane.op_counts.get("program", 0) + 1)
+            plane.resource.cancel(grant)
+        breakdown.add("flash_chip", (service_start - t_request) + duration)
+        self.pages_programmed += 1
+        return breakdown
+
+    def _program_page_gen(self, addr: PhysAddr, traffic_class: str,
+                          breakdown: Breakdown,
+                          priority: int) -> Generator:
+        """Layered program chain (fault-retry capable slow path)."""
         self._check_owns(addr)
         breakdown = breakdown if breakdown is not None else Breakdown()
         injector = self.fault_injector

@@ -280,8 +280,8 @@ class SimulatedSSD:
             topo_cls = _TOPOLOGIES[config.fnoc_topology]
             topology = topo_cls(config.geometry.channels)
             channel_bw = config.effective_fnoc_channel_bw
-            self.fnoc = FNoC(
-                self.sim, topology, channel_bw,
+            self.fnoc = self.sim.fnoc(
+                topology, channel_bw,
                 flit_bytes=config.fnoc_flit_bytes,
                 buffer_flits=config.fnoc_buffer_flits,
                 router_latency_us=config.fnoc_router_latency_us,

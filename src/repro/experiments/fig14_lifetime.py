@@ -146,9 +146,7 @@ def _build_with_scan(workload, geometry, n_blocks, windows):
             if len(mapped) >= 512:
                 break
 
-        from repro.sim import TokenPool
-
-        outstanding = TokenPool(ssd.sim, 256, name="scan_window")
+        outstanding = ssd.sim.token_pool(256, name="scan_window")
 
         def read_one(addr):
             # GC may have moved/erased this page since the scan list was

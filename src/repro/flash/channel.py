@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..errors import ConfigError
-from ..sim import Link, Simulator
+from ..sim import Simulator
 
 __all__ = ["FlashChannel"]
 
@@ -36,8 +36,12 @@ class FlashChannel:
         self.sim = sim
         self.channel_id = channel_id
         self.cmd_overhead_us = cmd_overhead_us
-        self.link = Link(sim, bandwidth, name=f"flash_bus{channel_id}",
-                         bin_width=bin_width)
+        self.link = sim.link(bandwidth, name=f"flash_bus{channel_id}",
+                             bin_width=bin_width)
+        #: Command/address overhead expressed as bytes-equivalent bus
+        #: occupancy -- resolved once (both parameters are fixed at
+        #: construction) instead of per transaction on the hot path.
+        self._overhead_bytes = int(cmd_overhead_us * self.link.bandwidth)
 
     @property
     def bandwidth(self) -> float:
@@ -56,9 +60,8 @@ class FlashChannel:
         """
         if priority is None:
             priority = -1 if traffic_class == "gc" else 0
-        overhead_bytes = int(self.cmd_overhead_us * self.link.bandwidth)
         wait = yield self.link.transfer(
-            nbytes + overhead_bytes, traffic_class, priority
+            nbytes + self._overhead_bytes, traffic_class, priority
         )
         return wait
 

@@ -16,9 +16,9 @@ import random
 from typing import Dict, Generator, Iterable, List, Optional
 
 from ..errors import AddressError, FlashError
-from ..sim import Resource, Simulator
+from ..sim import Simulator
 from .geometry import FlashGeometry, PhysAddr
-from .timing import FlashTiming
+from .timing import FlashTiming, TimingTable, batch_max
 
 __all__ = ["BlockState", "FlashPlane", "FlashBackend", "OpBreakdown"]
 
@@ -76,7 +76,7 @@ class FlashPlane:
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name
-        self.resource = Resource(sim, capacity=1, name=name)
+        self.resource = sim.resource(capacity=1, name=name)
         self.busy_time = 0.0
         self.op_counts: Dict[str, int] = {"read": 0, "program": 0, "erase": 0}
 
@@ -152,6 +152,11 @@ class FlashBackend:
             geometry.dies * geometry.planes,
             geometry.planes,
         )
+        self._blocks_per_plane = geometry.blocks_per_plane
+        #: Deterministic latency rows resolved by (OP_*, channel) index;
+        #: every channel shares this backend's timing preset.
+        self.timing_table = TimingTable([timing] * geometry.channels)
+        self._read_mid, self._program_mid, _ = self.timing_table.row(0)
 
     def _plane_id(self, addr: PhysAddr) -> int:
         """Plane index of a *validated* address (no bounds re-check)."""
@@ -186,12 +191,12 @@ class FlashBackend:
 
     def _read_latency(self) -> float:
         if self.deterministic_timing:
-            return self.timing.read_mid
+            return self._read_mid
         return self.timing.sample_read(self._rng)
 
     def _program_latency(self) -> float:
         if self.deterministic_timing:
-            return self.timing.program_mid
+            return self._program_mid
         return self.timing.sample_program(self._rng)
 
     # -- array operations --------------------------------------------------------
@@ -297,7 +302,9 @@ class FlashBackend:
             for addr in addr_list
         ]
         waits = yield self.sim.all_of(procs)
-        return OpBreakdown(max(waits), duration)
+        # All planes complete at one timestamp; the worst-case wait
+        # resolves in one (NumPy-batched) reduction.
+        return OpBreakdown(batch_max(waits), duration)
 
     # -- checkpointing -----------------------------------------------------------
 

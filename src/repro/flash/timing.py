@@ -4,17 +4,43 @@ Latencies are microseconds.  TLC read/program latencies are ranges in the
 paper ("read=60-95us, write=200-500us"); :class:`FlashTiming` stores the
 range and exposes both the midpoint (for deterministic runs) and a seeded
 sampler (for runs that model page-position-dependent latency).
+
+Hot-path layout: deterministic latencies resolve through flat
+per-``(op, channel)`` rows (:class:`TimingTable`) indexed by the
+``OP_READ``/``OP_PROGRAM``/``OP_ERASE`` constants instead of per-call
+property/branch chains, and batch completion math over homogeneous
+same-timestamp flash ops goes through one NumPy array computation when
+NumPy is importable (the pure-Python fallback is always present and
+produces bit-identical floats -- IEEE-754 add/max are exact either way).
 """
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 from ..errors import ConfigError
 
-__all__ = ["FlashTiming", "ULL_TIMING", "TLC_TIMING"]
+__all__ = ["FlashTiming", "TimingTable", "ULL_TIMING", "TLC_TIMING",
+           "OP_READ", "OP_PROGRAM", "OP_ERASE", "batch_totals",
+           "batch_max", "HAVE_NUMPY"]
+
+#: Operation indices into a :class:`TimingTable` row.
+OP_READ, OP_PROGRAM, OP_ERASE = 0, 1, 2
+
+try:  # pragma: no cover - exercised via the NumPy-absent CI leg
+    # REPRO_DSSD_NO_NUMPY=1 forces the pure-Python batch fallback even
+    # when NumPy is importable (other modules legitimately depend on
+    # NumPy, so CI cannot simply uninstall it to test this path).
+    if os.environ.get("REPRO_DSSD_NO_NUMPY"):
+        raise ImportError("vectorized timing disabled: REPRO_DSSD_NO_NUMPY")
+    import numpy as _np
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    _np = None
+    HAVE_NUMPY = False
 
 
 @dataclass(frozen=True)
@@ -36,16 +62,28 @@ class FlashTiming:
             raise ConfigError(f"erase_us must be positive: {self.erase_us}")
         if self.page_size < 512:
             raise ConfigError(f"page_size too small: {self.page_size}")
+        # The midpoints are read once per array op on the hot path;
+        # resolve them once here (frozen dataclass, so via object
+        # assignment) into the OP_*-indexed row.
+        object.__setattr__(self, "_row", (
+            (self.read_us[0] + self.read_us[1]) / 2.0,
+            (self.program_us[0] + self.program_us[1]) / 2.0,
+            self.erase_us,
+        ))
 
     @property
     def read_mid(self) -> float:
         """Midpoint read latency."""
-        return (self.read_us[0] + self.read_us[1]) / 2.0
+        return self._row[OP_READ]
 
     @property
     def program_mid(self) -> float:
         """Midpoint program latency."""
-        return (self.program_us[0] + self.program_us[1]) / 2.0
+        return self._row[OP_PROGRAM]
+
+    def op_row(self) -> Tuple[float, float, float]:
+        """``(read, program, erase)`` latencies indexed by ``OP_*``."""
+        return self._row
 
     def sample_read(self, rng: random.Random) -> float:
         """Draw a read latency uniformly from the device range."""
@@ -67,6 +105,62 @@ class FlashTiming:
         shapes matter.
         """
         return self.page_size / self.program_mid
+
+
+def batch_totals(waits: Sequence[float], service: float) -> Tuple[list, float]:
+    """Completion math for a batch of homogeneous same-timestamp ops.
+
+    Given the per-plane queueing *waits* of one multi-plane command (all
+    planes share one array *service* time and finish at one timestamp),
+    returns ``(totals, worst)``: each op's wait+service and the
+    worst-case total.  Uses one NumPy array computation when available;
+    the pure fallback is bit-identical (IEEE-754 ``+``/``max`` are exact
+    operations, not approximations, in both code paths).
+    """
+    if HAVE_NUMPY and len(waits) >= 8:
+        arr = _np.asarray(waits, dtype=_np.float64) + service
+        return arr.tolist(), float(arr.max())
+    totals = [wait + service for wait in waits]
+    return totals, max(totals)
+
+
+def batch_max(values: Sequence[float]) -> float:
+    """Worst case of a batch of waits (NumPy reduction when it pays)."""
+    if HAVE_NUMPY and len(values) >= 8:
+        return float(_np.asarray(values, dtype=_np.float64).max())
+    return max(values)
+
+
+class TimingTable:
+    """Flat per-``(op, channel)`` deterministic latency rows.
+
+    Built once per device from the per-channel :class:`FlashTiming`
+    presets (today every channel shares one preset; the table keeps the
+    channel axis so heterogeneous-flash configs stay cheap).  Lookup is
+    a single index: ``table.latency(op, channel)`` with the ``OP_*``
+    constants -- no dict probing, no property descriptors, no branch
+    chain on the per-op path.
+    """
+
+    __slots__ = ("_flat", "channels")
+
+    def __init__(self, timings: Sequence[FlashTiming]):
+        if not timings:
+            raise ConfigError("TimingTable needs at least one channel timing")
+        self.channels = len(timings)
+        flat = []
+        for timing in timings:
+            flat.extend(timing.op_row())
+        self._flat = tuple(flat)
+
+    def latency(self, op: int, channel: int) -> float:
+        """Deterministic latency of ``OP_*`` *op* on *channel*."""
+        return self._flat[channel * 3 + op]
+
+    def row(self, channel: int) -> Tuple[float, float, float]:
+        """``(read, program, erase)`` for one channel."""
+        base = channel * 3
+        return self._flat[base:base + 3]
 
 
 #: Ultra-low-latency flash (paper Table 1 "Flash (ULL)").

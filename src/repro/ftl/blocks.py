@@ -95,6 +95,45 @@ class BlockManager:
             addr = geometry.block_addr_of(block_index)
             self.blocks[block_index] = BlockInfo(addr)
             self._free[geometry.plane_index(addr)].append(block_index)
+        self._rebuild_ready()
+
+    # -- per-plane allocatability cache --------------------------------------
+    #
+    # ``allocate_page`` round-robins over every plane; on a nearly-full
+    # device most planes cannot serve an allocation, and on the profile
+    # of a steady-state run the failed probes dominated the whole FTL.
+    # The flags mirror ``_try_allocate_in_plane``'s success predicate
+    # exactly, so the round-robin can skip dead planes (and fail in
+    # O(1) when no plane qualifies) without changing which plane any
+    # allocation lands on.
+
+    def _refresh_plane(self, plane: int) -> None:
+        """Recompute the readiness flags of one plane after a mutation."""
+        free_len = len(self._free[plane])
+        host = (self._active[plane] is not None
+                or free_len > self.gc_reserve_blocks)
+        if host != self._host_ready[plane]:
+            self._host_ready[plane] = host
+            self._host_ready_count += 1 if host else -1
+        gc = self._active_gc[plane] is not None or free_len > 0
+        if gc != self._gc_ready[plane]:
+            self._gc_ready[plane] = gc
+            self._gc_ready_count += 1 if gc else -1
+
+    def _rebuild_ready(self) -> None:
+        """Recompute every plane's readiness flags from scratch."""
+        reserve = self.gc_reserve_blocks
+        self._host_ready = [
+            self._active[plane] is not None
+            or len(self._free[plane]) > reserve
+            for plane in range(self.geometry.planes_total)
+        ]
+        self._gc_ready = [
+            self._active_gc[plane] is not None or len(self._free[plane]) > 0
+            for plane in range(self.geometry.planes_total)
+        ]
+        self._host_ready_count = sum(self._host_ready)
+        self._gc_ready_count = sum(self._gc_ready)
 
     # -- queries ----------------------------------------------------------
 
@@ -115,12 +154,7 @@ class BlockManager:
 
     def host_allocatable(self) -> bool:
         """Whether any plane can currently serve a host allocation."""
-        for plane in range(self.geometry.planes_total):
-            if self._active[plane] is not None:
-                return True
-            if len(self._free[plane]) > self.gc_reserve_blocks:
-                return True
-        return False
+        return self._host_ready_count > 0
 
     def valid_pages_of(self, addr: PhysAddr) -> List[PhysAddr]:
         """Addresses of all currently valid pages in *addr*'s block."""
@@ -144,11 +178,18 @@ class BlockManager:
             if addr is None:
                 raise MappingError(f"no allocatable page in plane {plane}")
             return addr
+        if not (self._gc_ready_count if for_gc else self._host_ready_count):
+            raise MappingError(
+                f"no allocatable page (for_gc={for_gc}); device full"
+            )
+        ready = self._gc_ready if for_gc else self._host_ready
         cursor = self._cursor
         for offset in range(planes_total):
             candidate = cursor + offset
             if candidate >= planes_total:
                 candidate -= planes_total
+            if not ready[candidate]:
+                continue
             addr = self._try_allocate_in_plane(candidate, for_gc)
             if addr is not None:
                 self._cursor = (candidate + 1) % planes_total
@@ -184,6 +225,7 @@ class BlockManager:
         if info.write_ptr >= self.geometry.pages_per_block:
             info.state = FULL
             slots[plane] = None
+        self._refresh_plane(plane)
         return addr
 
     # -- validity ---------------------------------------------------------
@@ -268,10 +310,10 @@ class BlockManager:
             )
         info.state = FREE
         info.write_ptr = 0
-        self._free[self.geometry.plane_index(addr)].append(
-            self.geometry.block_index(addr)
-        )
+        plane = self.geometry.plane_index(addr)
+        self._free[plane].append(self.geometry.block_index(addr))
         self.free_blocks += 1
+        self._refresh_plane(plane)
 
     def withdraw_spare(self, plane: int) -> Optional[PhysAddr]:
         """Withdraw one free block from *plane* as a replacement spare.
@@ -288,6 +330,7 @@ class BlockManager:
         info.state = SPARE
         self.free_blocks -= 1
         self.spare_blocks += 1
+        self._refresh_plane(plane)
         return info.addr
 
     def mark_bad(self, addr: PhysAddr) -> None:
@@ -309,6 +352,7 @@ class BlockManager:
         info.state = BAD
         info.valid.clear()
         self.bad_blocks += 1
+        self._refresh_plane(plane)
 
     # -- checkpointing ------------------------------------------------------
 
@@ -362,6 +406,7 @@ class BlockManager:
         self.free_blocks = int(state["free_blocks"])
         self.bad_blocks = int(state["bad_blocks"])
         self.spare_blocks = int(state["spare_blocks"])
+        self._rebuild_ready()
 
     # -- instant pre-conditioning ---------------------------------------------
 
@@ -378,9 +423,10 @@ class BlockManager:
         for offset in valid_offsets:
             if not 0 <= offset < self.geometry.pages_per_block:
                 raise AddressError(f"prefill offset {offset} out of range")
-        plane_pool = self._free[self.geometry.plane_index(addr)]
-        plane_pool.remove(self.geometry.block_index(addr))
+        plane = self.geometry.plane_index(addr)
+        self._free[plane].remove(self.geometry.block_index(addr))
         self.free_blocks -= 1
         info.state = FULL
         info.write_ptr = self.geometry.pages_per_block
         info.valid = set(valid_offsets)
+        self._refresh_plane(plane)

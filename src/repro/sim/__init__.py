@@ -2,6 +2,7 @@
 
 from .backend import (
     BACKENDS,
+    compiled_layers,
     fast_backend_status,
     make_simulator,
     resolve_backend,
@@ -29,6 +30,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "BACKENDS",
+    "compiled_layers",
     "Counter",
     "Event",
     "fast_backend_status",

@@ -2,12 +2,17 @@
 
 The DES kernel ships as canonical pure-Python source
 (:mod:`repro.sim.kernel`).  ``tools/build_fast_backend.py`` can compile
-a byte-identical twin of that module with mypyc (or Cython) into the
-optional extension module ``repro.sim._kernel_fast``; when present, the
-``fast`` backend instantiates the twin's ``Simulator`` instead.  Both
-backends produce identical simulated timing — the twin is *generated
-from* ``kernel.py``, never hand-edited — so experiment outputs are
-byte-identical and the equivalence suite runs against both.
+a byte-identical twin of that module — concatenated with the contention
+layer (``sim/resources.py``) and the fNoC fabric (``noc/network.py``) —
+with mypyc (or Cython) into the optional extension module
+``repro.sim._kernel_fast``; when present, the ``fast`` backend
+instantiates the twin's ``Simulator`` instead, and the Simulator's
+model-layer factories (``resource()``/``link()``/``fnoc()``/…) hand out
+the compiled primitive classes.  Both backends produce identical
+simulated timing — the twin is *generated from* the canonical modules,
+never hand-edited — so experiment outputs are byte-identical and the
+equivalence suite runs against both.  :func:`compiled_layers` reports
+which layers a built twin actually covers.
 
 Backend names:
 
@@ -45,6 +50,7 @@ __all__ = [
     "ENV_VAR",
     "FAST_MODULE",
     "fast_backend_status",
+    "compiled_layers",
     "resolve_backend",
     "make_simulator",
 ]
@@ -80,6 +86,26 @@ def fast_backend_status() -> Tuple[bool, str]:
     if not origin.endswith((".so", ".pyd")):
         return False, f"{FAST_MODULE} present but not compiled: {origin}"
     return True, origin
+
+
+def compiled_layers() -> Tuple[str, ...]:
+    """Model layers the installed compiled twin covers, by probe.
+
+    Returns a tuple drawn from ``("kernel", "resources", "noc")`` —
+    empty when no compiled backend is installed.  Probed by attribute
+    (an older single-module twin would report only ``kernel``), so
+    provenance records what the extension actually contains rather than
+    what the current generator would emit.
+    """
+    if not fast_backend_status()[0]:
+        return ()
+    module = importlib.import_module(FAST_MODULE)
+    layers = ["kernel"]
+    if hasattr(module, "Resource") and hasattr(module, "Link"):
+        layers.append("resources")
+    if hasattr(module, "FNoC"):
+        layers.append("noc")
+    return tuple(layers)
 
 
 def resolve_backend(requested: str = "auto") -> str:

@@ -72,6 +72,26 @@ __all__ = [
 #: Sentinel stored in ``Event.callbacks`` once the event has dispatched.
 _DISPATCHED = object()
 
+
+def _layer_class(name: str) -> Any:
+    """Resolve a model-layer primitive class for Simulator factories.
+
+    Prefers a class defined in this very module: the generated fast
+    twin concatenates resources.py and noc/network.py after the kernel,
+    so its module globals contain the compiled classes.  The canonical
+    kernel falls back to the pure-Python implementations (imported
+    lazily; ``repro.sim`` imports this module first, so a top-level
+    import would be circular).
+    """
+    cls = globals().get(name)
+    if cls is not None:
+        return cls
+    if name == "FNoC":
+        from repro.noc.network import FNoC
+        return FNoC
+    from repro.sim import resources
+    return getattr(resources, name)
+
 #: Shared empty args tuple for event heap entries.
 _NO_ARGS = ()
 
@@ -459,6 +479,39 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Condition event firing once any of *events* has fired."""
         return AnyOf(self, events)
+
+    # -- model-layer factories ----------------------------------------------
+    #
+    # Contention primitives are constructed through the simulator so the
+    # model layer never names a backend: ``_layer_class`` prefers a class
+    # defined in *this module* -- the compiled twin embeds resources.py
+    # and noc/network.py, so a twin Simulator hands out compiled
+    # Resource/Link/FNoC objects -- and falls back to the canonical
+    # pure-Python implementations otherwise.  Construction is cold path;
+    # the lookup cost is irrelevant.
+
+    def resource(self, capacity: int = 1, name: str = "") -> Any:
+        """Construct a backend-matched :class:`~repro.sim.Resource`."""
+        return _layer_class("Resource")(self, capacity, name)
+
+    def link(self, bandwidth: float, name: str = "",
+             bin_width: float = 1000.0) -> Any:
+        """Construct a backend-matched :class:`~repro.sim.Link`."""
+        return _layer_class("Link")(self, bandwidth, name, bin_width)
+
+    def store(self, name: str = "") -> Any:
+        """Construct a backend-matched :class:`~repro.sim.Store`."""
+        return _layer_class("Store")(self, name)
+
+    def token_pool(self, capacity: int, name: str = "") -> Any:
+        """Construct a backend-matched :class:`~repro.sim.TokenPool`."""
+        return _layer_class("TokenPool")(self, capacity, name)
+
+    def fnoc(self, topology: Any, channel_bandwidth: float,
+             **kwargs: Any) -> Any:
+        """Construct a backend-matched :class:`~repro.noc.network.FNoC`."""
+        return _layer_class("FNoC")(self, topology, channel_bandwidth,
+                                    **kwargs)
 
     # -- scheduling ---------------------------------------------------------
 

@@ -287,12 +287,16 @@ def test_smoke_run_reaches_pinned_edge_floor(tmp_path):
 
 
 def test_fuzz_is_deterministic_across_runs_and_jobs():
-    reports = [run_fuzz(seed=7, execs=24, jobs=jobs)
+    # 32 executions, not 24: the allocator's O(1) readiness cache
+    # removed the plane-scan loop edges, so the first mutation
+    # generation finds less *new* coverage than it used to and two
+    # seeds only diverge once the mutants get a second generation.
+    reports = [run_fuzz(seed=7, execs=32, jobs=jobs)
                for jobs in (1, 1, 2)]
     hashes = {r.corpus_hash for r in reports}
     assert len(hashes) == 1
     assert len({r.distinct_edges for r in reports}) == 1
-    assert run_fuzz(seed=8, execs=24).corpus_hash not in hashes
+    assert run_fuzz(seed=8, execs=32).corpus_hash not in hashes
 
 
 def test_corpus_hash_is_backend_independent(monkeypatch):

@@ -437,6 +437,121 @@ def test_yield_non_event_raises_on_every_backend(backend):
 
 
 # ---------------------------------------------------------------------------
+# Flat vs generator datapath: byte-identical under contention, per backend.
+#
+# The datapath/controller flat fast path (use_flat_path) collapses the
+# layered generator chain into one frame for the no-contention common
+# case and must *stay* byte-identical when the case is anything but
+# common: operations blocking mid-op on busy planes/links, the
+# wear-model's ECC retry ladder (which makes the dispatcher fall back
+# to the layered path), and preemptive GC interrupting in-flight page
+# moves.  Each scenario runs flat and layered under every backend.
+# ---------------------------------------------------------------------------
+
+def _tiny_geometry():
+    """Small enough that a 3 ms write-leaning mix fills it and GC runs."""
+    from repro.flash import FlashGeometry
+
+    return FlashGeometry(channels=2, ways=1, dies=1, planes=2,
+                         blocks_per_plane=12, pages_per_block=16)
+
+
+def _datapath_fingerprint(backend, flat, arch, duration, **overrides):
+    from repro.core import build_ssd
+    from repro.workloads import SyntheticWorkload
+
+    pattern = overrides.pop("pattern", "mixed")
+    read_fraction = overrides.pop("read_fraction", 0.3)
+    prefill = overrides.pop("prefill", False)
+    if overrides.pop("tiny", False):
+        overrides.update(geometry=_tiny_geometry(), prefill_fraction=0.92)
+    ssd = build_ssd(arch, backend=backend, **overrides)
+    if prefill:
+        ssd.prefill()
+    if not flat:
+        ssd.datapath.use_flat_path = False
+        for controller in ssd.controllers:
+            controller.use_flat_path = False
+    workload = SyntheticWorkload(pattern=pattern, io_size=4096,
+                                 read_fraction=read_fraction)
+    ssd.run(workload, duration_us=duration)
+    ftl = ssd.ftl
+    return {
+        "now": ssd.sim.now,
+        "seq": ssd.sim._seq,
+        "requests": ftl.requests_completed,
+        "read_latency": ftl.read_latency.summary(),
+        "write_latency": ftl.write_latency.summary(),
+        "io_latency": ftl.io_latency.summary(),
+        "breakdown": ftl.mean_io_breakdown().as_dict(),
+        "copybacks": ssd.datapath.copybacks_completed,
+        "gc_episodes": ssd.gc.stats.episodes,
+        "gc_pages_moved": ssd.gc.stats.pages_moved,
+        "pages_read": sum(c.pages_read for c in ssd.controllers),
+        "pages_programmed": sum(c.pages_programmed
+                                for c in ssd.controllers),
+    }
+
+
+#: (scenario id, arch, duration_us, overrides).  The ``tiny`` scenarios
+#: use a near-full small device so GC actually runs: flat page moves and
+#: copybacks then contend with host I/O mid-operation.
+_FLAT_SCENARIOS = [
+    ("midop_blocking", "baseline", 2500.0, {"read_fraction": 0.2}),
+    ("midop_blocking_dssd", "dssd_f", 2000.0, {"read_fraction": 0.3}),
+    ("ecc_retry_ladder", "baseline", 2000.0,
+     {"read_fraction": 0.7, "read_retry": True}),
+    ("gc_page_moves", "baseline", 3000.0,
+     {"read_fraction": 0.2, "tiny": True, "prefill": True}),
+    ("gc_copybacks_fnoc", "dssd_f", 3000.0,
+     {"read_fraction": 0.2, "tiny": True, "prefill": True}),
+    ("gc_copybacks_dedicated_bus", "dssd_b", 3000.0,
+     {"read_fraction": 0.2, "tiny": True, "prefill": True}),
+    # The raised hard floor makes preemptive GC move pages *under* live
+    # host I/O (its quiet-wait would otherwise stall all run long), so
+    # flat page moves get preempt-polled and interleaved with host ops.
+    ("preemptive_gc", "bw", 3000.0,
+     {"read_fraction": 0.2, "gc_policy": "preemptive", "tiny": True,
+      "prefill": True, "gc_hard_floor_fraction": 0.25}),
+]
+
+
+@pytest.mark.parametrize("backend", BACKEND_PARAMS)
+@pytest.mark.parametrize(
+    "name,arch,duration,overrides", _FLAT_SCENARIOS,
+    ids=[s[0] for s in _FLAT_SCENARIOS])
+def test_flat_path_identical_under_contention(backend, name, arch,
+                                              duration, overrides):
+    flat = _datapath_fingerprint(backend, True, arch, duration,
+                                 **dict(overrides))
+    layered = _datapath_fingerprint(backend, False, arch, duration,
+                                    **dict(overrides))
+    assert flat == layered, f"flat vs layered diverged: {name}/{backend}"
+
+
+def test_flat_scenarios_exercise_their_features():
+    """The scenarios must actually hit GC/retry/copyback machinery, or
+    the equivalence assertions above are vacuous."""
+    from repro.core import build_ssd
+    from repro.workloads import SyntheticWorkload
+
+    ssd = build_ssd("baseline", read_retry=True)
+    workload = SyntheticWorkload(pattern="mixed", io_size=4096,
+                                 read_fraction=0.7)
+    ssd.run(workload, duration_us=2000.0)
+    assert ssd.datapath.wear_model is not None
+
+    for name, arch, duration, overrides in _FLAT_SCENARIOS:
+        if not overrides.get("tiny"):
+            continue
+        fp = _datapath_fingerprint("pure", True, arch, duration,
+                                   **dict(overrides))
+        assert fp["gc_pages_moved"] > 0, name
+        if arch.startswith("dssd"):
+            assert fp["copybacks"] > 0, name
+
+
+# ---------------------------------------------------------------------------
 # End-to-end: a full SSD point must be bit-identical across backends.
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,128 @@
+"""The generated compiled-twin source, exercised without a compiler.
+
+``tools/build_fast_backend.py`` concatenates kernel.py, resources.py
+and noc/network.py into one module for compilation.  No compiler
+toolchain is assumed here: the twin is generated to a temp path and
+imported as plain Python, which checks the real product of the
+generator -- import rewrites, ``__all__`` merging, future-import
+hoisting -- and that a twin Simulator's factories hand out twin-local
+classes with byte-identical behaviour to the canonical stack.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.noc.network import FNoC
+from repro.noc.packet import Packet
+from repro.noc.topology import Mesh1D
+from repro.sim import Link, Resource, Simulator, compiled_layers
+from repro.sim.backend import fast_backend_status
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+def _build_tool():
+    sys.path.insert(0, str(TOOLS))
+    try:
+        import build_fast_backend
+    finally:
+        sys.path.remove(str(TOOLS))
+    return build_fast_backend
+
+
+@pytest.fixture(scope="module")
+def twin(tmp_path_factory):
+    """The generated twin, imported as an ordinary module."""
+    tool = _build_tool()
+    path = tool.generate_twin(tmp_path_factory.mktemp("twin") / "twin.py")
+    spec = importlib.util.spec_from_file_location("repro_twin_under_test",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    # dataclass decorators resolve the defining module via sys.modules.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_twin_exports_all_three_layers(twin):
+    for name in ("Simulator", "Event", "Process", "Resource", "Link",
+                 "Store", "TokenPool", "Transfer", "FNoC", "NocBreakdown"):
+        assert hasattr(twin, name), name
+        assert name in twin.__all__
+
+
+def test_factories_prefer_twin_local_classes(twin):
+    sim = twin.Simulator()
+    assert type(sim.resource(2, name="r")) is twin.Resource
+    assert type(sim.link(100.0, name="l")) is twin.Link
+    assert type(sim.store(name="s")) is twin.Store
+    assert type(sim.token_pool(4, name="t")) is twin.TokenPool
+    assert type(sim.fnoc(Mesh1D(4), channel_bandwidth=1000.0)) is twin.FNoC
+    # ...and none of them are the canonical classes.
+    assert twin.Resource is not Resource
+    assert twin.Link is not Link
+
+
+def test_canonical_factories_fall_back_to_package_classes():
+    sim = Simulator()
+    assert type(sim.resource(1)) is Resource
+    assert type(sim.link(10.0)) is Link
+    assert type(sim.fnoc(Mesh1D(2), channel_bandwidth=100.0)) is FNoC
+
+
+def _contended_point(simulator_cls):
+    """A small DES point crossing every primitive the twin embeds."""
+    sim = simulator_cls()
+    plane = sim.resource(1, name="plane")
+    bus = sim.link(500.0, name="bus")
+    pool = sim.token_pool(2, name="pool")
+    noc = sim.fnoc(Mesh1D(4), channel_bandwidth=1000.0)
+    done = []
+
+    def op(sim, index):
+        yield pool.acquire(1)
+        grant = plane.request(priority=index % 2)
+        yield grant
+        yield sim.timeout(3.0 + index * 0.5)
+        plane.cancel(grant)
+        yield bus.transfer(4096, "io", 0)
+        yield sim.process(noc.send(
+            Packet(src=index % 4, dst=(index + 1) % 4,
+                   payload_bytes=2048)))
+        pool.release(1)
+        done.append((index, sim.now))
+
+    for index in range(6):
+        sim.process(op(sim, index))
+    sim.run()
+    return sim.now, sim._seq, done, noc.packets_sent
+
+
+def test_twin_point_byte_identical_to_canonical(twin):
+    assert _contended_point(twin.Simulator) == _contended_point(Simulator)
+
+
+def test_generation_aborts_on_source_drift(tmp_path, monkeypatch):
+    tool = _build_tool()
+    drifted = {path: dict(rewrites)
+               for path, rewrites in tool._REWRITES.items()}
+    drifted[tool.RESOURCES]["from .kernel import Gone\n"] = None
+    monkeypatch.setattr(tool, "_REWRITES", drifted)
+    with pytest.raises(RuntimeError, match="drift"):
+        tool.generate_twin(tmp_path / "twin.py")
+
+
+def test_compiled_layers_matches_backend_status():
+    available, _detail = fast_backend_status()
+    layers = compiled_layers()
+    if not available:
+        assert layers == ()
+    else:
+        assert layers[0] == "kernel"
+        assert set(layers) <= {"kernel", "resources", "noc"}

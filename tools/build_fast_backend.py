@@ -1,18 +1,39 @@
 #!/usr/bin/env python
 """Build the optional compiled DES kernel backend.
 
-Generates ``src/repro/sim/_kernel_fast.py`` as a byte-for-byte twin of
-the canonical ``kernel.py`` (plus a generated-file banner), compiles it
-with **mypyc** (or **Cython** with ``--cython``) into the extension
-module ``repro.sim._kernel_fast``, and deletes the intermediate ``.py``
-so the interpreter can never silently import an uncompiled twin (the
-backend resolver rejects non-``.so`` origins anyway; see
-``repro/sim/backend.py``).
+Generates ``src/repro/sim/_kernel_fast.py`` as a twin of the canonical
+``kernel.py`` **plus** the model-facing contention layer -- the whole of
+``sim/resources.py`` (Resource, Link, Store, TokenPool) and
+``noc/network.py`` (FNoC) are concatenated into the same module so the
+compiler sees the hot ``Link.transfer`` / ``Resource.request`` /
+cut-through forwarding loops, not just the event heap.  The twin is
+compiled with **mypyc** (or **Cython** with ``--cython``) into the
+extension module ``repro.sim._kernel_fast``, and the intermediate
+``.py`` is deleted so the interpreter can never silently import an
+uncompiled twin (the backend resolver rejects non-``.so`` origins
+anyway; see ``repro/sim/backend.py``).
 
-The twin is *generated*, never hand-edited: the pure-Python module stays
+Model code never imports the twin directly: construction goes through
+the ``Simulator.resource()/link()/store()/token_pool()/fnoc()`` factory
+methods, which prefer a class defined in the Simulator's own module --
+so a twin Simulator hands out twin primitives and the canonical one
+hands out the canonical classes, with zero call-site changes.
+
+The twin is *generated*, never hand-edited: the pure-Python modules stay
 the single source of truth, and both backends execute the same
 scheduling logic -- which is what makes the byte-identical-timing
 guarantee a structural property rather than a testing aspiration.
+Concatenation rules (applied per embedded module):
+
+* every ``from __future__ import annotations`` is stripped and a single
+  one is emitted right after the banner docstring (mid-file future
+  imports are a SyntaxError);
+* imports of names the twin now defines locally (``from .kernel import
+  ...``, ``from ..sim import ...``) are dropped or narrowed, and
+  relative imports are rewritten absolute so the module is
+  self-positioning;
+* ``__all__ = [...]`` in embedded modules becomes ``__all__ = __all__ +
+  [...]`` so the union is exported.
 
 Usage::
 
@@ -37,24 +58,96 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SIM_DIR = REPO / "src" / "repro" / "sim"
 KERNEL = SIM_DIR / "kernel.py"
+RESOURCES = SIM_DIR / "resources.py"
+NETWORK = REPO / "src" / "repro" / "noc" / "network.py"
 TWIN = SIM_DIR / "_kernel_fast.py"
 
 BANNER = (
-    '"""GENERATED twin of repro.sim.kernel -- do not edit.\n\n'
+    '"""GENERATED twin of the DES kernel + model layer -- do not edit.\n'
+    "\n"
     "Produced by tools/build_fast_backend.py for compilation into the\n"
-    "optional fast backend extension; the canonical source of truth is\n"
-    "kernel.py.  Regenerate instead of editing.\n"
+    "optional fast backend extension.  Concatenates, in order:\n"
+    "\n"
+    "* repro/sim/kernel.py      (event heap, processes)\n"
+    "* repro/sim/resources.py   (Resource, Link, Store, TokenPool)\n"
+    "* repro/noc/network.py     (FNoC fabric)\n"
+    "\n"
+    "The canonical sources of truth are those modules.  Regenerate\n"
+    "instead of editing.\n"
     '"""\n'
 )
 
+FUTURE_IMPORT = "from __future__ import annotations\n"
 
-def generate_twin() -> Path:
+#: Exact-line rewrites per embedded module.  A value of ``None`` drops
+#: the line (the twin defines those names itself); any rewrite left
+#: unapplied aborts generation -- canonical-source drift must break the
+#: build loudly, not produce a subtly wrong twin.
+_REWRITES = {
+    RESOURCES: {
+        # Event/Simulator are defined earlier in the twin itself.
+        "from .kernel import Event, Simulator\n": None,
+        "from .stats import TimeBins\n":
+            "from repro.sim.stats import TimeBins\n",
+    },
+    NETWORK: {
+        "from ..errors import ConfigError\n":
+            "from repro.errors import ConfigError\n",
+        # Link/Resource/Simulator/TokenPool are twin-local; only the
+        # pure-bookkeeping stats class still comes from the package.
+        "from ..sim import LatencyStats, Link, Resource, Simulator, "
+        "TokenPool\n":
+            "from repro.sim.stats import LatencyStats\n",
+        "from .packet import DEFAULT_FLIT_BYTES, DEFAULT_HEADER_BYTES, "
+        "Packet, \\\n":
+            "from repro.noc.packet import DEFAULT_FLIT_BYTES, "
+            "DEFAULT_HEADER_BYTES, Packet, \\\n",
+        "from .topology import Topology, XBAR_HUB\n":
+            "from repro.noc.topology import Topology, XBAR_HUB\n",
+    },
+}
+
+
+def _transform(path: Path, merge_all: bool) -> str:
+    """Embeddable source for *path*: future import stripped, imports
+    rewritten per ``_REWRITES``, ``__all__`` turned into a merge."""
+    pending = dict(_REWRITES.get(path, {}))
+    out = []
+    for line in path.read_text().splitlines(keepends=True):
+        if line == FUTURE_IMPORT:
+            continue  # hoisted to the top of the twin
+        if line in pending:
+            replacement = pending.pop(line)
+            if replacement is not None:
+                out.append(replacement)
+            continue
+        if merge_all and line.startswith("__all__ = "):
+            out.append("__all__ = __all__ + " + line[len("__all__ = "):])
+            continue
+        out.append(line)
+    if pending:
+        raise RuntimeError(
+            f"{path.name}: expected import lines not found (canonical "
+            f"source drifted): {sorted(pending)}")
+    return "".join(out)
+
+
+def _section(path: Path) -> str:
+    rel = path.relative_to(REPO)
+    rule = "# " + "=" * 68 + "\n"
+    return f"\n\n{rule}# Embedded from {rel} -- generated, do not edit.\n{rule}\n"
+
+
+def generate_twin(dest: Path = TWIN) -> Path:
     """Write the twin module source; returns its path."""
-    source = KERNEL.read_text()
-    TWIN.write_text(BANNER + source)
+    parts = [BANNER, FUTURE_IMPORT, "\n", _transform(KERNEL, False)]
+    for module in (RESOURCES, NETWORK):
+        parts.append(_section(module))
+        parts.append(_transform(module, True))
+    dest.write_text("".join(parts))
     # Fail here, not deep inside a compiler, if the twin is unparsable.
-    py_compile.compile(str(TWIN), doraise=True)
-    return TWIN
+    py_compile.compile(str(dest), doraise=True)
+    return dest
 
 
 def _clean_intermediates() -> None:
